@@ -1,0 +1,261 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (regenerating the artifact each iteration), plus the
+// ablation benchmarks called out in DESIGN.md. Custom metrics expose the
+// numbers the paper reports (compression ratios, speedups, shares) so that
+// `go test -bench=.` doubles as the reproduction run.
+package dlrmcomp_test
+
+import (
+	"testing"
+
+	"dlrmcomp"
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/cuszlike"
+	"dlrmcomp/internal/experiments"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/lz4like"
+	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/quant"
+	"dlrmcomp/internal/tensor"
+	"dlrmcomp/internal/vlz"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Text == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure -----------------------------------
+
+func BenchmarkFig01_Breakdown(b *testing.B)            { benchExperiment(b, "fig1") }
+func BenchmarkFig04_FalsePrediction(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig05_DecayFunctions(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig06_TableSizes(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig08_AccuracyMethods(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig09_TableWise(b *testing.B)            { benchExperiment(b, "fig9") }
+func BenchmarkFig10_DecayVsDrop(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFig11_CompressorComparison(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12_EndToEnd(b *testing.B)             { benchExperiment(b, "fig12") }
+func BenchmarkFig13_DataFeatures(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14_PhaseDistribution(b *testing.B)    { benchExperiment(b, "fig14") }
+func BenchmarkFig15_BufferOpt(b *testing.B)            { benchExperiment(b, "fig15") }
+func BenchmarkTable01_Characteristics(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable02_Classification(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTable03_HomoIndexKaggle(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable04_HomoIndexTerabyte(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable05_PerTableCR(b *testing.B)         { benchExperiment(b, "table5") }
+func BenchmarkTable06_WindowSweep(b *testing.B)        { benchExperiment(b, "table6") }
+
+// --- codec throughput benchmarks (the GB/s columns of Fig. 11) --------------
+
+// lookupBatch builds a Zipf-reuse batch like real embedding lookups.
+func lookupBatch(seed uint64, rows, dim, vocab int, std float32) []float32 {
+	rng := tensor.NewRNG(seed)
+	centers := make([][]float32, vocab)
+	for v := range centers {
+		centers[v] = make([]float32, dim)
+		rng.FillNormal(centers[v], 0, std)
+	}
+	out := make([]float32, 0, rows*dim)
+	for r := 0; r < rows; r++ {
+		v := rng.Intn(vocab)
+		if rng.Float64() < 0.6 {
+			v = rng.Intn(max(1, vocab/8))
+		}
+		out = append(out, centers[v]...)
+	}
+	return out
+}
+
+func benchCodec(b *testing.B, c codec.Codec, decompress bool) {
+	b.Helper()
+	src := lookupBatch(1, 2048, 64, 400, 0.2)
+	frame, err := c.Compress(src, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if decompress {
+			if _, _, err := c.Decompress(frame); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := c.Compress(src, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCodec_HybridCompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeAuto), false)
+}
+func BenchmarkCodec_HybridDecompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeAuto), true)
+}
+func BenchmarkCodec_VectorLZCompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeVectorLZ), false)
+}
+func BenchmarkCodec_HuffmanCompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeEntropy), false)
+}
+func BenchmarkCodec_CuSZLikeCompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewCuSZLikeCodec(0.01), false)
+}
+func BenchmarkCodec_FZGPULikeCompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewFZGPULikeCodec(0.01), false)
+}
+func BenchmarkCodec_LZ4LikeCompress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewLZ4LikeCodec(), false)
+}
+func BenchmarkCodec_FP16Compress(b *testing.B) {
+	benchCodec(b, dlrmcomp.NewFP16Codec(), false)
+}
+
+// --- ablation benchmarks (DESIGN.md design decisions) ------------------------
+
+// Ablation 1: vector-granular matching vs byte-level LZ on lookup batches.
+func BenchmarkAblation_VectorVsByteLZ(b *testing.B) {
+	src := lookupBatch(2, 2048, 64, 100, 0.5)
+	codes := make([]int32, len(src))
+	quant.New(0.01).Quantize(codes, src)
+	var vCR, bCR float64
+	for i := 0; i < b.N; i++ {
+		vFrame, err := vlz.New(vlz.DefaultWindow).Encode(codes, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bFrame, err := lz4like.LZSSCodec{}.Compress(src, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vCR = float64(len(src)*4) / float64(len(vFrame))
+		bCR = float64(len(src)*4) / float64(len(bFrame))
+	}
+	b.ReportMetric(vCR, "vectorLZ-CR")
+	b.ReportMetric(bCR, "byteLZ-CR")
+	b.ReportMetric(vCR/bCR, "advantage")
+}
+
+// Ablation 2: Lorenzo prediction raises entropy on embedding batches.
+func BenchmarkAblation_PredictorEntropy(b *testing.B) {
+	src := lookupBatch(3, 1024, 32, 32, 0.5)
+	c := cuszlike.New(0.01, cuszlike.Lorenzo2D)
+	var raw, resid float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		raw, resid, err = c.ResidualEntropy(src, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(raw, "raw-bits/sym")
+	b.ReportMetric(resid, "resid-bits/sym")
+}
+
+// Ablation 3: two-phase variable-size all-to-all vs padding every message
+// to the worst-case compressed size.
+func BenchmarkAblation_VariableAllToAll(b *testing.B) {
+	net := netmodel.Slingshot10()
+	ranks := 32
+	// Compressed per-pair message sizes vary ~10x (2 KB to 20 KB). The
+	// padded alternative sends every pair at the worst-case pair size.
+	rng := tensor.NewRNG(42)
+	totals := make([]int64, ranks)
+	var maxPair int64
+	for from := range totals {
+		for to := 0; to < ranks-1; to++ {
+			sz := int64(2<<10 + rng.Intn(18<<10))
+			totals[from] += sz
+			if sz > maxPair {
+				maxPair = sz
+			}
+		}
+	}
+	var variable, padded float64
+	for i := 0; i < b.N; i++ {
+		v := net.AllToAllTime(ranks, totals) + net.MetadataTime(ranks, 8)
+		p := net.UniformAllToAllTime(ranks, maxPair*int64(ranks-1))
+		variable = v.Seconds()
+		padded = p.Seconds()
+	}
+	b.ReportMetric(padded/variable, "padded/variable")
+}
+
+// Ablation 4: sensitivity of the L/M/S classification to the Homo-Index
+// thresholds.
+func BenchmarkAblation_HomoThresholds(b *testing.B) {
+	spec := criteo.ScaledSpec(criteo.KaggleSpec(), 4000)
+	gen := criteo.NewGenerator(spec)
+	m, err := dlrmcomp.NewModel(dlrmcomp.ModelConfig{
+		DenseFeatures: spec.DenseFeatures, EmbeddingDim: 16,
+		TableSizes: spec.Cardinalities, InitCardinalities: spec.FullCardinalities,
+		BottomMLP: []int{32}, TopMLP: []int{32}, Seed: spec.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := gen.NextBatch(128)
+	samples := make([][]float32, len(m.Emb.Tables))
+	for t, tab := range m.Emb.Tables {
+		samples[t] = tab.Lookup(batch.Indices[t]).Data
+	}
+	var smallAt30, smallAt50 int
+	for i := 0; i < b.N; i++ {
+		for _, th := range []adapt.Thresholds{{LHindex: 0.05, SHindex: 0.3}, {LHindex: 0.05, SHindex: 0.5}} {
+			res, err := adapt.OfflineAnalysis(samples, 16, adapt.OfflineOptions{SampleEB: 0.01, Thresholds: th})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, s := res.ClassCounts()
+			if th.SHindex == 0.3 {
+				smallAt30 = s
+			} else {
+				smallAt50 = s
+			}
+		}
+	}
+	b.ReportMetric(float64(smallAt30), "S-tables@0.3")
+	b.ReportMetric(float64(smallAt50), "S-tables@0.5")
+}
+
+// Ablation 5: window sweep throughput cost (CR side lives in Table VI).
+func BenchmarkAblation_WindowThroughput(b *testing.B) {
+	src := lookupBatch(4, 2048, 64, 300, 0.3)
+	codes := make([]int32, len(src))
+	quant.New(0.01).Quantize(codes, src)
+	for _, w := range []int{32, 255} {
+		enc := vlz.New(w)
+		b.Run(map[int]string{32: "w32", 255: "w255"}[w], func(b *testing.B) {
+			b.SetBytes(int64(len(codes) * 4))
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(codes, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Eq. (2) selection as a micro-benchmark: how expensive is the offline pass.
+func BenchmarkOfflineSelection(b *testing.B) {
+	src := lookupBatch(5, 512, 16, 32, 0.3)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hybrid.SelectEncoder(src, 16, 0.01, 4e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

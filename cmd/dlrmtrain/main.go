@@ -1,0 +1,160 @@
+// Command dlrmtrain runs end-to-end hybrid-parallel DLRM training on the
+// simulated cluster, with or without communication compression, and prints
+// the loss curve, evaluation metrics, compression ratio, and the simulated
+// time breakdown (Fig. 1 / Fig. 12 style).
+//
+// Usage:
+//
+//	dlrmtrain -dataset kaggle -ranks 8 -steps 200 -codec hybrid -eb 0.02
+//	dlrmtrain -dataset terabyte -ranks 32 -codec none          # baseline
+//	dlrmtrain -codec hybrid -adaptive                          # dual-level adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/cuszlike"
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/fzgpulike"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/lowprec"
+	"dlrmcomp/internal/lz4like"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/profileutil"
+)
+
+func main() {
+	dataset := flag.String("dataset", "kaggle", "kaggle or terabyte")
+	ranks := flag.Int("ranks", 8, "simulated GPU count")
+	steps := flag.Int("steps", 200, "training steps")
+	batch := flag.Int("batch", 0, "global batch size (0 = dataset default)")
+	scale := flag.Int("scale", 400, "cardinality scale-down factor")
+	dim := flag.Int("dim", 16, "embedding dimension")
+	codecName := flag.String("codec", "hybrid", "none|hybrid|vector|huffman|fp16|fp8|cusz|fzgpu|lz4|deflate")
+	eb := flag.Float64("eb", 0.02, "error bound for lossy codecs")
+	adaptive := flag.Bool("adaptive", false, "enable dual-level adaptive error bounds")
+	phase := flag.Int("phase", 0, "decay phase length (0 = steps/2)")
+	evalN := flag.Int("eval", 4000, "evaluation sample count")
+	flag.Parse()
+
+	var spec criteo.Spec
+	switch *dataset {
+	case "kaggle":
+		spec = criteo.KaggleSpec()
+	case "terabyte":
+		spec = criteo.TerabyteSpec()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown dataset:", *dataset)
+		os.Exit(2)
+	}
+	spec = criteo.ScaledSpec(spec, *scale)
+	if *batch == 0 {
+		*batch = spec.DefaultBatch
+	}
+	if *batch%*ranks != 0 {
+		*batch = (*batch / *ranks) * *ranks
+	}
+
+	cfg := model.Config{
+		DenseFeatures:     spec.DenseFeatures,
+		EmbeddingDim:      *dim,
+		TableSizes:        spec.Cardinalities,
+		InitCardinalities: spec.FullCardinalities,
+		BottomMLP:         []int{64, 32},
+		TopMLP:            []int{64, 32},
+		Seed:              spec.Seed,
+	}
+
+	makeCodec := codecFactory(*codecName, float32(*eb))
+	opts := dist.Options{Ranks: *ranks, Model: cfg}
+	if makeCodec != nil {
+		opts.CodecFor = func(int) codec.Codec { return makeCodec() }
+	}
+
+	gen := criteo.NewGenerator(spec)
+	if *adaptive && makeCodec != nil {
+		// Offline phase: classify tables from a sampled batch.
+		m, err := model.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		b := gen.NextBatch(spec.DefaultBatch)
+		samples := make([][]float32, len(m.Emb.Tables))
+		for t, tab := range m.Emb.Tables {
+			samples[t] = tab.Lookup(b.Indices[t]).Data
+		}
+		res, err := adapt.OfflineAnalysis(samples, *dim, adapt.OfflineOptions{SampleEB: float32(*eb)})
+		if err != nil {
+			fatal(err)
+		}
+		if *phase == 0 {
+			*phase = *steps / 2
+		}
+		ctrl, err := adapt.NewController(res.Classes, adapt.PaperEBConfig(), adapt.ScheduleStepwise, *phase, 2)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Controller = ctrl
+		l, md, s := res.ClassCounts()
+		fmt.Printf("offline classification: L=%d M=%d S=%d, stepwise 2x decay over %d steps\n", l, md, s, *phase)
+	}
+
+	tr, err := dist.NewTrainer(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *steps; i++ {
+		loss, err := tr.Step(gen.NextBatch(*batch))
+		if err != nil {
+			fatal(err)
+		}
+		if i%10 == 0 || i == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f\n", i, loss)
+		}
+	}
+	acc, logloss := tr.Evaluate(gen.NextBatch(*evalN))
+	fmt.Printf("\neval: accuracy %.4f  logloss %.4f\n", acc, logloss)
+	if makeCodec != nil {
+		fmt.Printf("forward all-to-all compression ratio: %.2fx\n", tr.CompressionRatio())
+	}
+	fmt.Printf("\nsimulated time breakdown:\n%s", profileutil.Breakdown(tr.Cluster().SimTimes()).String())
+}
+
+func codecFactory(name string, eb float32) func() codec.Codec {
+	switch name {
+	case "none":
+		return nil
+	case "hybrid":
+		return func() codec.Codec { return hybrid.New(eb, hybrid.Auto) }
+	case "vector":
+		return func() codec.Codec { return hybrid.New(eb, hybrid.VectorLZ) }
+	case "huffman":
+		return func() codec.Codec { return hybrid.New(eb, hybrid.Entropy) }
+	case "fp16":
+		return func() codec.Codec { return lowprec.FP16Codec{} }
+	case "fp8":
+		return func() codec.Codec { return lowprec.FP8Codec{Format: lowprec.E4M3} }
+	case "cusz":
+		return func() codec.Codec { return cuszlike.New(eb, cuszlike.Lorenzo1D) }
+	case "fzgpu":
+		return func() codec.Codec { return fzgpulike.New(eb) }
+	case "lz4":
+		return func() codec.Codec { return lz4like.LZSSCodec{} }
+	case "deflate":
+		return func() codec.Codec { return lz4like.DeflateCodec{} }
+	default:
+		fmt.Fprintln(os.Stderr, "unknown codec:", name)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

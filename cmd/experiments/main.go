@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig11          # one experiment
+//	experiments -run all            # everything, in order
+//	experiments -run fig12 -full    # paper-scale workloads (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dlrmcomp/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "experiment ID to run, or 'all'")
+	full := flag.Bool("full", false, "use paper-scale workloads instead of quick mode")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-full] | -list")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: !*full}
+
+	emit := func(res *experiments.Result) {
+		fmt.Printf("=== %s — %s ===\n%s\n", res.ID, res.Title, res.Text)
+	}
+	if strings.EqualFold(*run, "all") {
+		results, err := experiments.RunAll(opts)
+		for _, res := range results {
+			emit(res)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res, err := experiments.Run(*run, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	emit(res)
+}

@@ -1,0 +1,99 @@
+// Command offline runs the paper's offline analysis phase (§III-A) on a
+// synthetic dataset: it samples lookup batches per embedding table, computes
+// the Homogenization Index, classifies every table into L/M/S error-bound
+// classes (Algorithm 1), and selects the best encoder per table by the
+// Eq. (2) speed-up model (Algorithm 2).
+//
+// Usage:
+//
+//	offline -dataset kaggle -batch 128 -eb 0.01 -scale 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/nn"
+)
+
+func main() {
+	dataset := flag.String("dataset", "kaggle", "kaggle or terabyte")
+	batch := flag.Int("batch", 0, "sample batch size (0 = dataset default)")
+	eb := flag.Float64("eb", 0, "probe error bound (0 = paper default for the dataset)")
+	scale := flag.Int("scale", 400, "cardinality scale-down factor")
+	dim := flag.Int("dim", 16, "embedding dimension")
+	warm := flag.Int("warm", 200, "warm-up training steps before sampling")
+	bandwidth := flag.Float64("bw", 4e9, "network bandwidth for Eq. 2 selection (bytes/s)")
+	flag.Parse()
+
+	var spec criteo.Spec
+	switch *dataset {
+	case "kaggle":
+		spec = criteo.KaggleSpec()
+		if *eb == 0 {
+			*eb = 0.01
+		}
+	case "terabyte":
+		spec = criteo.TerabyteSpec()
+		if *eb == 0 {
+			*eb = 0.005
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "unknown dataset:", *dataset)
+		os.Exit(2)
+	}
+	if *batch == 0 {
+		*batch = spec.DefaultBatch
+	}
+	spec = criteo.ScaledSpec(spec, *scale)
+
+	gen := criteo.NewGenerator(spec)
+	m, err := model.New(model.Config{
+		DenseFeatures:     spec.DenseFeatures,
+		EmbeddingDim:      *dim,
+		TableSizes:        spec.Cardinalities,
+		InitCardinalities: spec.FullCardinalities,
+		BottomMLP:         []int{64, 32},
+		TopMLP:            []int{64, 32},
+		Seed:              spec.Seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "model:", err)
+		os.Exit(1)
+	}
+	opt := &nn.SGD{LR: 0.05}
+	for i := 0; i < *warm; i++ {
+		b := gen.NextBatch(128)
+		m.TrainStep(b.Dense, b.Indices, b.Labels, opt, 0.3)
+	}
+
+	b := gen.NextBatch(*batch)
+	samples := make([][]float32, len(m.Emb.Tables))
+	for t, tab := range m.Emb.Tables {
+		samples[t] = tab.Lookup(b.Indices[t]).Data
+	}
+	res, err := adapt.OfflineAnalysis(samples, *dim, adapt.OfflineOptions{
+		SampleEB:       float32(*eb),
+		SelectEncoders: true,
+		NetBandwidth:   *bandwidth,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analysis:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("offline analysis: dataset=%s batch=%d eb=%g scale=1/%d\n\n", spec.Name, *batch, *eb, *scale)
+	fmt.Printf("%-5s %-6s %-10s %-12s %-12s %-10s %-12s\n",
+		"table", "class", "EB", "#orig", "#quant", "homoIdx", "encoder")
+	for t, st := range res.Stats {
+		fmt.Printf("%-5d %-6s %-10.3g %-12d %-12d %-10.4f %-12s\n",
+			t, res.Classes[t].String(), res.EBs[t], st.OrigUnique, st.QuantUnique,
+			st.HomoIndex, res.Modes[t].String())
+	}
+	l, md, s := res.ClassCounts()
+	fmt.Printf("\nclass counts: L=%d M=%d S=%d\n", l, md, s)
+}

@@ -1,0 +1,210 @@
+// Package dlrmcomp is the public API of the DLRM communication-compression
+// library — a from-scratch Go reproduction of "Accelerating Communication in
+// Deep Learning Recommendation Model Training with Dual-Level Adaptive Lossy
+// Compression" (SC'24).
+//
+// The package re-exports the three layers a downstream user needs:
+//
+//   - the hybrid error-bounded compressor for embedding batches
+//     (NewCompressor) plus every baseline codec the paper compares against;
+//   - the dual-level adaptive error-bound machinery: offline table analysis
+//     and classification (OfflineAnalysis) and the iteration-wise decay
+//     controller (NewController);
+//   - the hybrid-parallel DLRM trainer on the simulated multi-GPU cluster
+//     (NewTrainer), whose forward all-to-all the codecs accelerate;
+//   - the experiment drivers regenerating every table and figure of the
+//     paper's evaluation (RunExperiment, ExperimentIDs).
+//
+// Quick start:
+//
+//	c := dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeAuto)
+//	frame, _ := c.Compress(batch, dim)     // batch: row-major []float32
+//	recon, _, _ := c.Decompress(frame)     // |recon[i]-batch[i]| <= 0.01
+package dlrmcomp
+
+import (
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/cuszlike"
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/experiments"
+	"dlrmcomp/internal/fzgpulike"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/lowprec"
+	"dlrmcomp/internal/lz4like"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/netmodel"
+)
+
+// Codec is the interface implemented by every communication compressor.
+type Codec = codec.Codec
+
+// ErrorBounded is a Codec with a tunable absolute error bound.
+type ErrorBounded = codec.ErrorBounded
+
+// Compressor is the paper's hybrid error-bounded compressor.
+type Compressor = hybrid.Codec
+
+// Mode selects the hybrid compressor's lossless stage.
+type Mode = hybrid.Mode
+
+// Hybrid compressor modes.
+const (
+	// ModeAuto picks the smaller frame of the two encoders per batch.
+	ModeAuto = hybrid.Auto
+	// ModeVectorLZ forces the vector-based LZ encoder.
+	ModeVectorLZ = hybrid.VectorLZ
+	// ModeEntropy forces the optimized Huffman encoder.
+	ModeEntropy = hybrid.Entropy
+)
+
+// NewCompressor returns the hybrid compressor with the given absolute error
+// bound and mode.
+func NewCompressor(eb float32, mode Mode) *Compressor { return hybrid.New(eb, mode) }
+
+// Speedup evaluates the paper's Eq. (2) communication speed-up model.
+func Speedup(cr, netBandwidth float64, compressBps, decompressBps float64) float64 {
+	return hybrid.Speedup(cr, netBandwidth, hybrid.Throughput{Compress: compressBps, Decompress: decompressBps})
+}
+
+// --- baseline codecs --------------------------------------------------------
+
+// NewFP16Codec returns the FP16 low-precision baseline.
+func NewFP16Codec() Codec { return lowprec.FP16Codec{} }
+
+// NewFP8Codec returns the FP8 (E4M3) low-precision baseline.
+func NewFP8Codec() Codec { return lowprec.FP8Codec{Format: lowprec.E4M3} }
+
+// NewCuSZLikeCodec returns the SZ-family error-bounded baseline.
+func NewCuSZLikeCodec(eb float32) ErrorBounded { return cuszlike.New(eb, cuszlike.Lorenzo1D) }
+
+// NewFZGPULikeCodec returns the FZ-GPU-family error-bounded baseline.
+func NewFZGPULikeCodec(eb float32) ErrorBounded { return fzgpulike.New(eb) }
+
+// NewLZ4LikeCodec returns the byte-level LZSS lossless baseline.
+func NewLZ4LikeCodec() Codec { return lz4like.LZSSCodec{} }
+
+// NewDeflateCodec returns the Deflate lossless baseline.
+func NewDeflateCodec() Codec { return lz4like.DeflateCodec{} }
+
+// --- adaptive error bounds --------------------------------------------------
+
+// PatternStats, classification, and controller types.
+type (
+	// PatternStats holds a table's homogenization statistics (Eq. 1).
+	PatternStats = adapt.PatternStats
+	// Class is a table's error-bound class (L/M/S).
+	Class = adapt.Class
+	// EBConfig maps classes to error bounds.
+	EBConfig = adapt.EBConfig
+	// Thresholds are the Homo-Index classification cut points.
+	Thresholds = adapt.Thresholds
+	// Controller drives per-table, per-iteration error bounds.
+	Controller = adapt.Controller
+	// Schedule is an iteration-wise decay function.
+	Schedule = adapt.Schedule
+	// OfflineResult is the output of the offline analysis phase.
+	OfflineResult = adapt.OfflineResult
+	// OfflineOptions configures OfflineAnalysis.
+	OfflineOptions = adapt.OfflineOptions
+)
+
+// Error-bound classes.
+const (
+	ClassLarge  = adapt.ClassLarge
+	ClassMedium = adapt.ClassMedium
+	ClassSmall  = adapt.ClassSmall
+)
+
+// Decay schedules.
+const (
+	ScheduleNone        = adapt.ScheduleNone
+	ScheduleStepwise    = adapt.ScheduleStepwise
+	ScheduleLogarithmic = adapt.ScheduleLogarithmic
+	ScheduleLinear      = adapt.ScheduleLinear
+	ScheduleExponential = adapt.ScheduleExponential
+	ScheduleDrop        = adapt.ScheduleDrop
+)
+
+// AnalyzeTable computes homogenization statistics for one sampled lookup
+// batch.
+func AnalyzeTable(tableID int, sample []float32, dim int, eb float32) (PatternStats, error) {
+	return adapt.AnalyzeTable(tableID, sample, dim, eb)
+}
+
+// OfflineAnalysis runs the paper's offline phase — table classification
+// (Algorithm 1) and compressor selection (Algorithm 2) — over per-table
+// sampled lookup batches.
+func OfflineAnalysis(samples [][]float32, dim int, opts OfflineOptions) (*OfflineResult, error) {
+	return adapt.OfflineAnalysis(samples, dim, opts)
+}
+
+// PaperEBConfig returns the paper's chosen bounds: L 0.05, M 0.03, S 0.01.
+func PaperEBConfig() EBConfig { return adapt.PaperEBConfig() }
+
+// NewController builds the iteration-wise decay controller over a
+// classification result.
+func NewController(classes []Class, cfg EBConfig, sched Schedule, phaseLen int, startFactor float64) (*Controller, error) {
+	return adapt.NewController(classes, cfg, sched, phaseLen, startFactor)
+}
+
+// --- training ---------------------------------------------------------------
+
+// Training types.
+type (
+	// ModelConfig describes a DLRM instance.
+	ModelConfig = model.Config
+	// DLRM is the single-process model.
+	DLRM = model.DLRM
+	// Trainer is the hybrid-parallel distributed trainer.
+	Trainer = dist.Trainer
+	// TrainerOptions configures the distributed trainer.
+	TrainerOptions = dist.Options
+	// DatasetSpec describes a synthetic Criteo-like dataset.
+	DatasetSpec = criteo.Spec
+	// Generator produces deterministic batches.
+	Generator = criteo.Generator
+	// Batch is one mini-batch of samples.
+	Batch = criteo.Batch
+	// Network is the α-β interconnect model.
+	Network = netmodel.Network
+)
+
+// NewModel builds a single-process DLRM.
+func NewModel(cfg ModelConfig) (*DLRM, error) { return model.New(cfg) }
+
+// NewTrainer builds the distributed trainer.
+func NewTrainer(opts TrainerOptions) (*Trainer, error) { return dist.NewTrainer(opts) }
+
+// KaggleSpec returns the Criteo-Kaggle-like dataset spec.
+func KaggleSpec() DatasetSpec { return criteo.KaggleSpec() }
+
+// TerabyteSpec returns the Criteo-Terabyte-like dataset spec.
+func TerabyteSpec() DatasetSpec { return criteo.TerabyteSpec() }
+
+// ScaledSpec shrinks a spec's cardinalities by factor for fast runs.
+func ScaledSpec(s DatasetSpec, factor int) DatasetSpec { return criteo.ScaledSpec(s, factor) }
+
+// NewGenerator builds a deterministic batch generator.
+func NewGenerator(spec DatasetSpec) *Generator { return criteo.NewGenerator(spec) }
+
+// Slingshot10 returns the paper-calibrated interconnect model.
+func Slingshot10() Network { return netmodel.Slingshot10() }
+
+// --- experiments ------------------------------------------------------------
+
+// ExperimentResult is a completed experiment.
+type ExperimentResult = experiments.Result
+
+// ExperimentOptions tunes experiment cost.
+type ExperimentOptions = experiments.Options
+
+// RunExperiment regenerates one of the paper's tables or figures
+// (IDs per ExperimentIDs, e.g. "fig11", "table5").
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
+	return experiments.Run(id, opts)
+}
+
+// ExperimentIDs lists every reproducible table and figure.
+func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,0 +1,72 @@
+package dlrmcomp
+
+import (
+	"time"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/buffopt"
+	"dlrmcomp/internal/pipeline"
+)
+
+// This file exports the paper's §VI future-work extensions implemented in
+// this repository: automated global error-bound selection, the batched
+// single-launch buffer optimization, and compression/communication
+// pipelining.
+
+// --- automated error-bound selection ----------------------------------------
+
+// TrialFunc evaluates one candidate error bound, returning the accuracy
+// degradation versus the uncompressed baseline.
+type TrialFunc = adapt.TrialFunc
+
+// AutoTuneResult records an error-bound search.
+type AutoTuneResult = adapt.AutoTuneResult
+
+// AutoTuneGlobalEB finds the largest candidate bound whose accuracy loss is
+// within tolerance (the paper's production criterion is 0.0002 = 0.02%).
+func AutoTuneGlobalEB(candidates []float32, tolerance float64, trial TrialFunc) (*AutoTuneResult, error) {
+	return adapt.AutoTuneGlobalEB(candidates, tolerance, trial)
+}
+
+// RefineGlobalEB bisects between a known-good and known-bad bound.
+func RefineGlobalEB(good, bad float32, tolerance float64, rounds int, trial TrialFunc) (*AutoTuneResult, error) {
+	return adapt.RefineGlobalEB(good, bad, tolerance, rounds, trial)
+}
+
+// --- buffer optimization ------------------------------------------------------
+
+// Chunk is one tensor in a batched compression call.
+type Chunk = buffopt.Chunk
+
+// BatchResult is a contiguous compressed send buffer plus chunk directory.
+type BatchResult = buffopt.BatchResult
+
+// CompressBatch compresses all chunks concurrently into one contiguous
+// buffer (the paper's single-kernel buffer optimization, Fig. 7).
+func CompressBatch(c Codec, chunks []Chunk) (*BatchResult, error) {
+	return buffopt.CompressBatch(c, chunks)
+}
+
+// DecompressBatch decodes every chunk of a batch concurrently.
+func DecompressBatch(c Codec, r *BatchResult) ([]Chunk, error) {
+	return buffopt.DecompressBatch(c, r)
+}
+
+// --- compression/communication pipelining ------------------------------------
+
+// PipelineStats reports a streaming exchange.
+type PipelineStats = pipeline.Stats
+
+// StreamExchange overlaps per-chunk compression with transmission and
+// decompression (the pipelined scheme of §VI / Ramesh et al.).
+func StreamExchange(c Codec, chunks []Chunk) ([]Chunk, PipelineStats, error) {
+	return pipeline.StreamExchange(c, chunks)
+}
+
+// PipelineSpeedup evaluates the analytic 3-stage pipeline model for k chunks
+// with the given per-chunk stage times.
+func PipelineSpeedup(compress, transmit, decompress time.Duration, k int) float64 {
+	return pipeline.Speedup(pipeline.StageTimes{
+		Compress: compress, Transmit: transmit, Decompress: decompress,
+	}, k)
+}

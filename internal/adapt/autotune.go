@@ -1,0 +1,92 @@
+package adapt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's future work (§VI) calls for "a more advanced and automated
+// approach for offline selection of a fixed global error-bound". AutoTune
+// implements that: it probes candidate bounds with a caller-supplied trial
+// function (typically a short compressed training run returning the
+// validation-accuracy delta versus the uncompressed baseline) and returns
+// the largest bound whose degradation stays within tolerance.
+
+// TrialFunc evaluates one candidate error bound and returns the accuracy
+// degradation versus the uncompressed baseline (positive = worse) — e.g.
+// baselineAcc - compressedAcc.
+type TrialFunc func(eb float32) (accLoss float64, err error)
+
+// AutoTuneResult records the search trace.
+type AutoTuneResult struct {
+	BestEB float32
+	// Trials holds every (eb, accLoss) probed, in probe order.
+	Trials []AutoTuneTrial
+}
+
+// AutoTuneTrial is one probe of the search.
+type AutoTuneTrial struct {
+	EB      float32
+	AccLoss float64
+}
+
+// AutoTuneGlobalEB finds the largest error bound in candidates whose
+// accuracy loss is at most tolerance (the paper's production criterion is
+// 0.0002, i.e. 0.02%). Candidates are probed from largest to smallest and
+// the search stops at the first acceptable bound, so a monotone loss curve
+// costs few trials. Returns an error if no candidate qualifies.
+func AutoTuneGlobalEB(candidates []float32, tolerance float64, trial TrialFunc) (*AutoTuneResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("adapt: no candidate error bounds")
+	}
+	if tolerance < 0 {
+		return nil, fmt.Errorf("adapt: negative tolerance %v", tolerance)
+	}
+	sorted := append([]float32(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	for _, eb := range sorted {
+		if eb <= 0 {
+			return nil, fmt.Errorf("adapt: non-positive candidate bound %v", eb)
+		}
+	}
+
+	res := &AutoTuneResult{}
+	for _, eb := range sorted {
+		loss, err := trial(eb)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: trial at eb %v: %w", eb, err)
+		}
+		res.Trials = append(res.Trials, AutoTuneTrial{EB: eb, AccLoss: loss})
+		if loss <= tolerance {
+			res.BestEB = eb
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("adapt: no candidate bound meets tolerance %v (tightest loss %v)",
+		tolerance, res.Trials[len(res.Trials)-1].AccLoss)
+}
+
+// RefineGlobalEB bisects between a known-good bound and a known-bad bound
+// for rounds iterations, returning the largest bound observed to stay within
+// tolerance. It extends AutoTuneGlobalEB when the candidate grid is coarse.
+func RefineGlobalEB(good, bad float32, tolerance float64, rounds int, trial TrialFunc) (*AutoTuneResult, error) {
+	if good <= 0 || bad <= good {
+		return nil, fmt.Errorf("adapt: need 0 < good < bad, got %v, %v", good, bad)
+	}
+	res := &AutoTuneResult{BestEB: good}
+	for i := 0; i < rounds; i++ {
+		mid := (good + bad) / 2
+		loss, err := trial(mid)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: trial at eb %v: %w", mid, err)
+		}
+		res.Trials = append(res.Trials, AutoTuneTrial{EB: mid, AccLoss: loss})
+		if loss <= tolerance {
+			good = mid
+			res.BestEB = mid
+		} else {
+			bad = mid
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package adapt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// syntheticLoss models a monotone accuracy-loss curve: loss grows with eb.
+func syntheticLoss(eb float32) (float64, error) {
+	return float64(eb) * float64(eb) * 100, nil // 0.01 -> 0.01, 0.05 -> 0.25
+}
+
+func TestAutoTunePicksLargestAcceptable(t *testing.T) {
+	res, err := AutoTuneGlobalEB([]float32{0.001, 0.01, 0.02, 0.05, 0.1}, 0.05, syntheticLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loss(0.02) = 0.04 <= 0.05; loss(0.05) = 0.25 > 0.05.
+	if res.BestEB != 0.02 {
+		t.Fatalf("BestEB = %v, want 0.02", res.BestEB)
+	}
+	// Largest-first probing: 0.1, 0.05, 0.02 -> 3 trials.
+	if len(res.Trials) != 3 {
+		t.Fatalf("trials = %d, want 3", len(res.Trials))
+	}
+}
+
+func TestAutoTuneNoCandidateQualifies(t *testing.T) {
+	if _, err := AutoTuneGlobalEB([]float32{0.5, 1}, 1e-9, syntheticLoss); err == nil {
+		t.Fatal("expected failure when nothing qualifies")
+	}
+}
+
+func TestAutoTuneValidation(t *testing.T) {
+	if _, err := AutoTuneGlobalEB(nil, 0.1, syntheticLoss); err == nil {
+		t.Fatal("empty candidates should error")
+	}
+	if _, err := AutoTuneGlobalEB([]float32{0.1}, -1, syntheticLoss); err == nil {
+		t.Fatal("negative tolerance should error")
+	}
+	if _, err := AutoTuneGlobalEB([]float32{0}, 0.1, syntheticLoss); err == nil {
+		t.Fatal("zero candidate should error")
+	}
+}
+
+func TestAutoTunePropagatesTrialError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := AutoTuneGlobalEB([]float32{0.1}, 0.1, func(float32) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRefineConvergesToThreshold(t *testing.T) {
+	// loss = 100*eb^2 <= 0.05 iff eb <= sqrt(0.0005) ≈ 0.02236.
+	res, err := RefineGlobalEB(0.01, 0.08, 0.05, 20, syntheticLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(0.0005)
+	if math.Abs(float64(res.BestEB)-want) > 1e-4 {
+		t.Fatalf("BestEB = %v, want ≈ %v", res.BestEB, want)
+	}
+	if len(res.Trials) != 20 {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	if _, err := RefineGlobalEB(0.05, 0.01, 0.1, 5, syntheticLoss); err == nil {
+		t.Fatal("bad > good required")
+	}
+	if _, err := RefineGlobalEB(0, 0.01, 0.1, 5, syntheticLoss); err == nil {
+		t.Fatal("good must be positive")
+	}
+}
+
+func TestRefineKeepsGoodWhenAllMidsFail(t *testing.T) {
+	res, err := RefineGlobalEB(0.001, 1, 1e-12, 4, syntheticLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEB != 0.001 {
+		t.Fatalf("BestEB = %v, want the initial good bound", res.BestEB)
+	}
+}

@@ -1,0 +1,160 @@
+package buffopt
+
+import (
+	"testing"
+
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/tensor"
+)
+
+func makeChunks(rng *tensor.RNG, n, rows, dim int) []Chunk {
+	chunks := make([]Chunk, n)
+	for i := range chunks {
+		vals := make([]float32, rows*dim)
+		rng.FillNormal(vals, 0, 0.2)
+		chunks[i] = Chunk{Vals: vals, Dim: dim}
+	}
+	return chunks
+}
+
+func TestCompressBatchRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	c := hybrid.New(0.01, hybrid.Auto)
+	chunks := makeChunks(rng, 8, 64, 16)
+	res, err := CompressBatch(c, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Offsets) != 8 {
+		t.Fatalf("offsets %d", len(res.Offsets))
+	}
+	back, err := DecompressBatch(c, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range back {
+		if ch.Dim != 16 || len(ch.Vals) != len(chunks[i].Vals) {
+			t.Fatalf("chunk %d shape wrong", i)
+		}
+		for j := range ch.Vals {
+			d := ch.Vals[j] - chunks[i].Vals[j]
+			if d > 0.011 || d < -0.011 {
+				t.Fatalf("chunk %d val %d error %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestBatchBufferIsContiguousAndComplete(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	c := hybrid.New(0.01, hybrid.Auto)
+	chunks := makeChunks(rng, 16, 32, 8)
+	res, err := CompressBatch(c, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spans must tile the buffer exactly (no gaps, no overlaps).
+	covered := make([]bool, len(res.Buf))
+	for i := range res.Offsets {
+		for p := res.Offsets[i]; p < res.Offsets[i]+res.Lengths[i]; p++ {
+			if covered[p] {
+				t.Fatal("overlapping spans")
+			}
+			covered[p] = true
+		}
+	}
+	for p, c := range covered {
+		if !c {
+			t.Fatalf("gap at byte %d", p)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	c := hybrid.New(0.01, hybrid.Auto)
+	chunks := makeChunks(rng, 4, 16, 4)
+	res, err := CompressBatch(c, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := res.Serialize()
+	back, err := Deserialize(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecompressBatch(c, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d chunks", len(decoded))
+	}
+}
+
+func TestDeserializeCorrupt(t *testing.T) {
+	if _, err := Deserialize(nil); err == nil {
+		t.Fatal("nil should error")
+	}
+	if _, err := Deserialize([]byte{1, 200, 200}); err == nil {
+		t.Fatal("truncated directory should error")
+	}
+	if _, err := Deserialize([]byte{1, 0, 50, 1, 2}); err == nil {
+		t.Fatal("span beyond buffer should error")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	c := hybrid.New(0.01, hybrid.Auto)
+	res, err := CompressBatch(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressBatch(c, res)
+	if err != nil || len(back) != 0 {
+		t.Fatal("empty batch should round trip")
+	}
+}
+
+func TestLaunchModelSpeedupGrowsWithChunks(t *testing.T) {
+	m := DefaultLaunchModel()
+	total := int64(16 << 20)
+	prev := 0.0
+	for _, k := range []int{2, 4, 8, 16} {
+		s := m.Speedup(total, k)
+		if s <= prev {
+			t.Fatalf("speedup should grow with chunk count: %v at k=%d", s, k)
+		}
+		prev = s
+	}
+	if prev < 1.2 || prev > 4 {
+		t.Fatalf("16-chunk speedup %v outside the paper's plausible band (max 2.04x)", prev)
+	}
+}
+
+func TestLaunchModelSmallBlocksBenefitMore(t *testing.T) {
+	// §IV-D: 8MB blocks benefit ~1.86x more than 64MB blocks.
+	m := DefaultLaunchModel()
+	small := m.Speedup(8<<20, 8)
+	large := m.Speedup(64<<20, 8)
+	if small <= large {
+		t.Fatalf("small blocks should benefit more: 8MB %.2fx vs 64MB %.2fx", small, large)
+	}
+}
+
+func TestLaunchModelSingleChunkNearNeutral(t *testing.T) {
+	m := DefaultLaunchModel()
+	s := m.Speedup(64<<20, 1)
+	if s < 1.0 || s > 1.5 {
+		t.Fatalf("single huge chunk should be near-neutral, got %.2fx", s)
+	}
+}
+
+func TestChunkedTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultLaunchModel().ChunkedTime(100, 0)
+}

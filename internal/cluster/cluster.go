@@ -1,0 +1,229 @@
+// Package cluster provides the simulated multi-GPU runtime that stands in
+// for the paper's NCCL process group: N ranks run as goroutines, exchange
+// real data through shared-memory collectives (AllToAll, variable-size
+// AllToAllV with the paper's two-phase metadata+payload protocol from
+// §III-A, and AllReduce), and every collective charges simulated wall time
+// to a labelled accounting bucket via the netmodel α-β interconnect model.
+//
+// Training math executed on top of this runtime is real — only the clock is
+// modelled — so accuracy experiments and timing experiments share one code
+// path.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dlrmcomp/internal/netmodel"
+)
+
+// MetadataBytesPerPair is the size-exchange header each rank sends every
+// peer before a variable-size all-to-all (stage ② of the paper's pipeline).
+const MetadataBytesPerPair = 8
+
+// Cluster is a simulated process group.
+type Cluster struct {
+	N   int
+	Net netmodel.Network
+
+	bar *barrier
+
+	mu        sync.Mutex
+	boxes     [][][]byte // boxes[from][to]
+	reduceBuf []float32
+	simTime   map[string]time.Duration
+}
+
+// New creates a cluster of n ranks over the given network model.
+func New(n int, net netmodel.Network) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: invalid rank count %d", n))
+	}
+	boxes := make([][][]byte, n)
+	for i := range boxes {
+		boxes[i] = make([][]byte, n)
+	}
+	return &Cluster{
+		N:       n,
+		Net:     net,
+		bar:     newBarrier(n),
+		boxes:   boxes,
+		simTime: make(map[string]time.Duration),
+	}
+}
+
+// Run executes fn on every rank concurrently and blocks until all return.
+func (c *Cluster) Run(fn func(r *Rank)) {
+	var wg sync.WaitGroup
+	for id := 0; id < c.N; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fn(&Rank{ID: id, c: c})
+		}(id)
+	}
+	wg.Wait()
+}
+
+// SimTime returns the accumulated simulated duration of the labelled bucket.
+func (c *Cluster) SimTime(label string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simTime[label]
+}
+
+// SimTimes returns a copy of all buckets.
+func (c *Cluster) SimTimes() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, len(c.simTime))
+	for k, v := range c.simTime {
+		out[k] = v
+	}
+	return out
+}
+
+// AddSimTime charges a duration to a bucket (used by ranks to account
+// modelled compute such as MLP or codec kernels; charged once per step by
+// rank 0 to represent the parallel device fleet).
+func (c *Cluster) AddSimTime(label string, d time.Duration) {
+	c.mu.Lock()
+	c.simTime[label] += d
+	c.mu.Unlock()
+}
+
+// ResetSimTime clears all buckets.
+func (c *Cluster) ResetSimTime() {
+	c.mu.Lock()
+	c.simTime = make(map[string]time.Duration)
+	c.mu.Unlock()
+}
+
+// Rank is one simulated device's handle onto the cluster.
+type Rank struct {
+	ID int
+	c  *Cluster
+}
+
+// N returns the cluster size.
+func (r *Rank) N() int { return r.c.N }
+
+// Barrier blocks until every rank reaches it.
+func (r *Rank) Barrier() { r.c.bar.await() }
+
+// AllToAll exchanges one buffer per peer: send[j] goes to rank j, and the
+// result's entry i holds the buffer rank i sent here. send[r.ID] is
+// delivered locally. If variable is true the simulated cost includes the
+// metadata exchange of the paper's stage ② (required because compressed
+// sizes differ per pair); fixed-size exchanges (the uncompressed baseline)
+// skip it.
+func (r *Rank) AllToAll(send [][]byte, variable bool, label string) [][]byte {
+	c := r.c
+	if len(send) != c.N {
+		panic(fmt.Sprintf("cluster: rank %d sent %d buffers for %d ranks", r.ID, len(send), c.N))
+	}
+	c.mu.Lock()
+	for to, buf := range send {
+		c.boxes[r.ID][to] = buf
+	}
+	c.mu.Unlock()
+	r.Barrier()
+
+	// Rank 0 charges the simulated time once, from global knowledge of
+	// send volumes.
+	if r.ID == 0 {
+		sends := make([]int64, c.N)
+		c.mu.Lock()
+		for from := 0; from < c.N; from++ {
+			var total int64
+			for to := 0; to < c.N; to++ {
+				if from != to {
+					total += int64(len(c.boxes[from][to]))
+				}
+			}
+			sends[from] = total
+		}
+		c.mu.Unlock()
+		d := c.Net.AllToAllTime(c.N, sends)
+		if variable {
+			d += c.Net.MetadataTime(c.N, MetadataBytesPerPair)
+		}
+		c.AddSimTime(label, d)
+	}
+
+	recv := make([][]byte, c.N)
+	c.mu.Lock()
+	for from := 0; from < c.N; from++ {
+		recv[from] = c.boxes[from][r.ID]
+	}
+	c.mu.Unlock()
+	// Second barrier so nobody overwrites boxes before all reads finish.
+	r.Barrier()
+	return recv
+}
+
+// AllReduceSum sums x elementwise across ranks; every rank's x holds the
+// global sum on return.
+func (r *Rank) AllReduceSum(x []float32, label string) {
+	c := r.c
+	c.mu.Lock()
+	if c.reduceBuf == nil { // first arriver allocates the zeroed accumulator
+		c.reduceBuf = make([]float32, len(x))
+	}
+	if len(c.reduceBuf) != len(x) {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("cluster: allreduce length mismatch: %d vs %d", len(c.reduceBuf), len(x)))
+	}
+	for i, v := range x {
+		c.reduceBuf[i] += v
+	}
+	c.mu.Unlock()
+	r.Barrier()
+
+	if r.ID == 0 {
+		c.AddSimTime(label, c.Net.AllReduceTime(c.N, int64(len(x)*4)))
+	}
+	c.mu.Lock()
+	copy(x, c.reduceBuf)
+	c.mu.Unlock()
+	r.Barrier()
+	if r.ID == 0 {
+		c.mu.Lock()
+		c.reduceBuf = nil
+		c.mu.Unlock()
+	}
+	r.Barrier()
+}
+
+// barrier is a reusable cyclic barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlrmcomp/internal/netmodel"
+)
+
+func testNet() netmodel.Network {
+	return netmodel.Network{AllToAllBandwidth: 4e9, AllReduceBandwidth: 8e9, Latency: time.Microsecond}
+}
+
+func TestRunAllRanks(t *testing.T) {
+	c := New(8, testNet())
+	var count int64
+	c.Run(func(r *Rank) {
+		atomic.AddInt64(&count, 1)
+		if r.N() != 8 {
+			t.Errorf("N = %d", r.N())
+		}
+	})
+	if count != 8 {
+		t.Fatalf("ran %d ranks", count)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	c := New(16, testNet())
+	var before, after int64
+	c.Run(func(r *Rank) {
+		atomic.AddInt64(&before, 1)
+		r.Barrier()
+		if atomic.LoadInt64(&before) != 16 {
+			t.Errorf("rank %d passed barrier before all arrived", r.ID)
+		}
+		atomic.AddInt64(&after, 1)
+	})
+	if after != 16 {
+		t.Fatal("not all ranks finished")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	c := New(4, testNet())
+	var phase int64
+	c.Run(func(r *Rank) {
+		for i := 0; i < 50; i++ {
+			r.Barrier()
+			v := atomic.LoadInt64(&phase)
+			if v != int64(i) {
+				t.Errorf("rank %d phase %d saw %d", r.ID, i, v)
+				return
+			}
+			r.Barrier()
+			if r.ID == 0 {
+				atomic.AddInt64(&phase, 1)
+			}
+			r.Barrier()
+		}
+	})
+}
+
+func TestAllToAllDelivery(t *testing.T) {
+	n := 6
+	c := New(n, testNet())
+	c.Run(func(r *Rank) {
+		send := make([][]byte, n)
+		for to := 0; to < n; to++ {
+			send[to] = []byte(fmt.Sprintf("from%d-to%d", r.ID, to))
+		}
+		recv := r.AllToAll(send, false, "a2a")
+		for from := 0; from < n; from++ {
+			want := fmt.Sprintf("from%d-to%d", from, r.ID)
+			if string(recv[from]) != want {
+				t.Errorf("rank %d got %q from %d, want %q", r.ID, recv[from], from, want)
+			}
+		}
+	})
+}
+
+func TestAllToAllRepeated(t *testing.T) {
+	n := 4
+	c := New(n, testNet())
+	c.Run(func(r *Rank) {
+		for round := 0; round < 20; round++ {
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = []byte{byte(r.ID), byte(to), byte(round)}
+			}
+			recv := r.AllToAll(send, false, "a2a")
+			for from := 0; from < n; from++ {
+				if recv[from][0] != byte(from) || recv[from][1] != byte(r.ID) || recv[from][2] != byte(round) {
+					t.Errorf("round %d rank %d bad payload from %d", round, r.ID, from)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestAllToAllSimTimeAccounting(t *testing.T) {
+	n := 4
+	c := New(n, testNet())
+	payload := make([]byte, 1<<20)
+	c.Run(func(r *Rank) {
+		send := make([][]byte, n)
+		for to := 0; to < n; to++ {
+			send[to] = payload
+		}
+		r.AllToAll(send, false, "fwd")
+	})
+	got := c.SimTime("fwd")
+	// Each rank sends 3 MB at 4 GB/s ≈ 750 µs + latency.
+	want := time.Duration(float64(3<<20) / 4e9 * float64(time.Second))
+	if got < want || got > want+time.Millisecond {
+		t.Fatalf("sim time = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestVariableAllToAllChargesMetadata(t *testing.T) {
+	n := 4
+	run := func(variable bool) time.Duration {
+		c := New(n, testNet())
+		c.Run(func(r *Rank) {
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = make([]byte, 1024)
+			}
+			r.AllToAll(send, variable, "x")
+		})
+		return c.SimTime("x")
+	}
+	if run(true) <= run(false) {
+		t.Fatal("variable-size all-to-all must cost extra metadata time")
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	n := 8
+	c := New(n, testNet())
+	results := make([][]float32, n)
+	c.Run(func(r *Rank) {
+		x := []float32{float32(r.ID), 1, float32(r.ID) * 2}
+		r.AllReduceSum(x, "ar")
+		results[r.ID] = x
+	})
+	// sum of IDs 0..7 = 28
+	for id, x := range results {
+		if x[0] != 28 || x[1] != 8 || x[2] != 56 {
+			t.Fatalf("rank %d reduced to %v", id, x)
+		}
+	}
+	if c.SimTime("ar") == 0 {
+		t.Fatal("allreduce charged no sim time")
+	}
+}
+
+func TestAllReduceRepeated(t *testing.T) {
+	n := 4
+	c := New(n, testNet())
+	c.Run(func(r *Rank) {
+		for round := 1; round <= 10; round++ {
+			x := []float32{float32(r.ID + round)}
+			r.AllReduceSum(x, "ar")
+			want := float32(0+1+2+3) + 4*float32(round)
+			if x[0] != want {
+				t.Errorf("round %d rank %d: %v want %v", round, r.ID, x[0], want)
+				return
+			}
+		}
+	})
+}
+
+func TestSimTimeBuckets(t *testing.T) {
+	c := New(2, testNet())
+	c.AddSimTime("compute", time.Second)
+	c.AddSimTime("compute", time.Second)
+	if c.SimTime("compute") != 2*time.Second {
+		t.Fatal("bucket accumulation broken")
+	}
+	all := c.SimTimes()
+	if all["compute"] != 2*time.Second {
+		t.Fatal("SimTimes copy broken")
+	}
+	c.ResetSimTime()
+	if c.SimTime("compute") != 0 {
+		t.Fatal("reset broken")
+	}
+}
+
+func TestNewPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, testNet())
+}

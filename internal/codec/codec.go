@@ -1,0 +1,59 @@
+// Package codec defines the interface every communication compressor in the
+// repository implements — the paper's hybrid compressor, the low-precision
+// baselines, and the SZ/ZFP/LZ4-family comparators. A codec compresses a
+// row-major batch of float32 embedding vectors into a self-contained frame.
+package codec
+
+import "fmt"
+
+// Codec compresses batches of embedding vectors (row-major float32 with a
+// fixed row length dim).
+type Codec interface {
+	// Name identifies the codec in experiment output (e.g. "ours-hybrid").
+	Name() string
+	// Lossy reports whether reconstruction may differ from the input.
+	Lossy() bool
+	// Compress encodes the batch into a self-contained frame.
+	Compress(src []float32, dim int) ([]byte, error)
+	// Decompress reconstructs the batch and its row length.
+	Decompress(frame []byte) (vals []float32, dim int, err error)
+}
+
+// ErrorBounded is implemented by codecs with a tunable absolute error bound
+// (the knob the adaptive strategy drives).
+type ErrorBounded interface {
+	Codec
+	// SetErrorBound updates the bound used by subsequent Compress calls.
+	SetErrorBound(eb float32)
+	// ErrorBound returns the current bound.
+	ErrorBound() float32
+}
+
+// Ratio returns the compression ratio achieved by frame for a batch of n
+// float32 values (original bytes / compressed bytes).
+func Ratio(n int, frame []byte) float64 {
+	if len(frame) == 0 {
+		return 0
+	}
+	return float64(n*4) / float64(len(frame))
+}
+
+// RoundTrip compresses and immediately decompresses src, returning the
+// reconstruction and the achieved ratio. Used by offline analysis.
+func RoundTrip(c Codec, src []float32, dim int) (recon []float32, ratio float64, err error) {
+	frame, err := c.Compress(src, dim)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: compress: %w", c.Name(), err)
+	}
+	recon, gotDim, err := c.Decompress(frame)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: decompress: %w", c.Name(), err)
+	}
+	if gotDim != dim {
+		return nil, 0, fmt.Errorf("%s: round trip dim %d != %d", c.Name(), gotDim, dim)
+	}
+	if len(recon) != len(src) {
+		return nil, 0, fmt.Errorf("%s: round trip length %d != %d", c.Name(), len(recon), len(src))
+	}
+	return recon, Ratio(len(src), frame), nil
+}

@@ -1,0 +1,147 @@
+package criteo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// Binary dataset serialization: batches can be written to and re-read from
+// any io.Writer/Reader, so a generated workload can be frozen to disk and
+// replayed across runs or shared between the trainer and external tools
+// (the role Criteo's day files play for the paper's system).
+//
+// Format (little-endian):
+//
+//	magic "DLRMB1"  | u32 n | u32 denseF | u32 numTables
+//	dense  n*denseF float32
+//	labels n        float32
+//	per table: n int32 indices
+
+var batchMagic = [6]byte{'D', 'L', 'R', 'M', 'B', '1'}
+
+// WriteBatch serializes b to w.
+func WriteBatch(w io.Writer, b *Batch) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(batchMagic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(b.N()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(b.Dense.Cols))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b.Indices)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var tmp [4]byte
+	for _, v := range b.Dense.Data {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		if _, err := bw.Write(tmp[:]); err != nil {
+			return err
+		}
+	}
+	for _, v := range b.Labels {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		if _, err := bw.Write(tmp[:]); err != nil {
+			return err
+		}
+	}
+	for _, idx := range b.Indices {
+		if len(idx) != b.N() {
+			return fmt.Errorf("criteo: table index length %d != batch %d", len(idx), b.N())
+		}
+		for _, v := range idx {
+			binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+			if _, err := bw.Write(tmp[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBatch deserializes one batch from r.
+func ReadBatch(r io.Reader) (*Batch, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != batchMagic {
+		return nil, fmt.Errorf("criteo: bad magic %q", magic[:])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	denseF := int(binary.LittleEndian.Uint32(hdr[4:]))
+	numTables := int(binary.LittleEndian.Uint32(hdr[8:]))
+	const maxReasonable = 1 << 28
+	if n < 0 || denseF <= 0 || numTables <= 0 || n*denseF > maxReasonable || n*numTables > maxReasonable {
+		return nil, fmt.Errorf("criteo: implausible header n=%d dense=%d tables=%d", n, denseF, numTables)
+	}
+
+	readF32 := func(dst []float32) error {
+		var tmp [4]byte
+		for i := range dst {
+			if _, err := io.ReadFull(br, tmp[:]); err != nil {
+				return err
+			}
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(tmp[:]))
+		}
+		return nil
+	}
+	b := &Batch{
+		Dense:   tensor.NewMatrix(n, denseF),
+		Indices: make([][]int32, numTables),
+		Labels:  make([]float32, n),
+	}
+	if err := readF32(b.Dense.Data); err != nil {
+		return nil, err
+	}
+	if err := readF32(b.Labels); err != nil {
+		return nil, err
+	}
+	var tmp [4]byte
+	for t := range b.Indices {
+		b.Indices[t] = make([]int32, n)
+		for i := range b.Indices[t] {
+			if _, err := io.ReadFull(br, tmp[:]); err != nil {
+				return nil, err
+			}
+			b.Indices[t][i] = int32(binary.LittleEndian.Uint32(tmp[:]))
+		}
+	}
+	return b, nil
+}
+
+// WriteBatches writes a stream of batches.
+func WriteBatches(w io.Writer, batches []*Batch) error {
+	for i, b := range batches {
+		if err := WriteBatch(w, b); err != nil {
+			return fmt.Errorf("criteo: batch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadBatches reads batches until EOF.
+func ReadBatches(r io.Reader) ([]*Batch, error) {
+	br := bufio.NewReader(r)
+	var out []*Batch
+	for {
+		if _, err := br.Peek(1); err == io.EOF {
+			return out, nil
+		}
+		b, err := ReadBatch(br)
+		if err != nil {
+			return nil, fmt.Errorf("criteo: batch %d: %w", len(out), err)
+		}
+		out = append(out, b)
+	}
+}

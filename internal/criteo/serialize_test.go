@@ -1,0 +1,80 @@
+package criteo
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBatchSerializationRoundTrip(t *testing.T) {
+	g := NewGenerator(ScaledSpec(KaggleSpec(), 10000))
+	b := g.NextBatch(64)
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != b.N() || got.Dense.Cols != b.Dense.Cols || len(got.Indices) != len(b.Indices) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range b.Dense.Data {
+		if got.Dense.Data[i] != b.Dense.Data[i] {
+			t.Fatal("dense mismatch")
+		}
+	}
+	for i := range b.Labels {
+		if got.Labels[i] != b.Labels[i] {
+			t.Fatal("label mismatch")
+		}
+	}
+	for ti := range b.Indices {
+		for i := range b.Indices[ti] {
+			if got.Indices[ti][i] != b.Indices[ti][i] {
+				t.Fatal("index mismatch")
+			}
+		}
+	}
+}
+
+func TestBatchStreamRoundTrip(t *testing.T) {
+	g := NewGenerator(ScaledSpec(TerabyteSpec(), 100000))
+	batches := []*Batch{g.NextBatch(8), g.NextBatch(16), g.NextBatch(4)}
+	var buf bytes.Buffer
+	if err := WriteBatches(&buf, batches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d batches", len(got))
+	}
+	for i, b := range batches {
+		if got[i].N() != b.N() {
+			t.Fatalf("batch %d size", i)
+		}
+	}
+}
+
+func TestReadBatchRejectsGarbage(t *testing.T) {
+	if _, err := ReadBatch(bytes.NewReader([]byte("NOTDLRM"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	// Valid magic, implausible header.
+	data := append([]byte("DLRMB1"), make([]byte, 12)...)
+	if _, err := ReadBatch(bytes.NewReader(data)); err == nil {
+		t.Fatal("zero-table header should error")
+	}
+	// Truncated payload.
+	g := NewGenerator(ScaledSpec(KaggleSpec(), 100000))
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, g.NextBatch(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBatch(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated batch should error")
+	}
+}

@@ -1,0 +1,165 @@
+// Package embedding implements DLRM embedding tables: dense row storage,
+// batched lookup, and the sparse gradient scatter/update used during
+// backpropagation. A lookup batch produces one row per sample per table; the
+// rows are exactly the "embedding lookups" whose all-to-all exchange the
+// paper compresses.
+package embedding
+
+import (
+	"fmt"
+	"math"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// Table is one embedding table: NumRows vectors of dimension Dim.
+type Table struct {
+	ID      int
+	NumRows int
+	Dim     int
+	Weights *tensor.Matrix // [NumRows, Dim]
+
+	// adagrad per-row accumulated squared gradient norms (DLRM-style
+	// row-wise Adagrad); lazily allocated on first sparse update.
+	adagradAcc []float32
+}
+
+// NewTable allocates a table with uniform(-1/sqrt(n), 1/sqrt(n))
+// initialization, the scheme the open-source DLRM reference uses (scaled by
+// table cardinality so hot small tables don't dominate the interaction
+// logits).
+func NewTable(id, numRows, dim int, rng *tensor.RNG) *Table {
+	return NewTableWithInitScale(id, numRows, dim, numRows, rng)
+}
+
+// NewTableWithInitScale allocates a table holding numRows rows but
+// initialized with the value range of a table of initRows rows
+// (uniform ±1/sqrt(initRows)). Scaled-down experiment datasets use this to
+// preserve the full-scale value statistics — in particular the vector
+// homogenization behaviour, which depends on the init range relative to the
+// quantization error bound — while storing far fewer rows.
+func NewTableWithInitScale(id, numRows, dim, initRows int, rng *tensor.RNG) *Table {
+	if numRows <= 0 || dim <= 0 || initRows <= 0 {
+		panic(fmt.Sprintf("embedding: invalid table shape %dx%d (init %d)", numRows, dim, initRows))
+	}
+	t := &Table{ID: id, NumRows: numRows, Dim: dim, Weights: tensor.NewMatrix(numRows, dim)}
+	limit := float32(1.0 / math.Sqrt(float64(initRows)))
+	rng.FillUniform(t.Weights.Data, -limit, limit)
+	return t
+}
+
+// Lookup gathers the rows for indices into a new [len(indices), Dim] matrix.
+func (t *Table) Lookup(indices []int32) *tensor.Matrix {
+	out := tensor.NewMatrix(len(indices), t.Dim)
+	t.LookupInto(out, indices)
+	return out
+}
+
+// LookupInto gathers rows into dst, which must be [len(indices), Dim].
+func (t *Table) LookupInto(dst *tensor.Matrix, indices []int32) {
+	if dst.Rows != len(indices) || dst.Cols != t.Dim {
+		panic("embedding: LookupInto shape mismatch")
+	}
+	for i, idx := range indices {
+		if idx < 0 || int(idx) >= t.NumRows {
+			panic(fmt.Sprintf("embedding: index %d out of range [0,%d) in table %d", idx, t.NumRows, t.ID))
+		}
+		copy(dst.Row(i), t.Weights.Row(int(idx)))
+	}
+}
+
+// SparseGrad holds the gradient rows for one lookup batch: grad.Row(i) is
+// dL/d(lookup row i), destined for Weights.Row(indices[i]).
+type SparseGrad struct {
+	Indices []int32
+	Grad    *tensor.Matrix // [len(Indices), Dim]
+}
+
+// ApplySGD scatters the sparse gradient with a plain SGD update; duplicate
+// indices accumulate naturally because updates are applied sequentially.
+func (t *Table) ApplySGD(sg SparseGrad, lr float32) {
+	if sg.Grad.Rows != len(sg.Indices) || sg.Grad.Cols != t.Dim {
+		panic("embedding: ApplySGD shape mismatch")
+	}
+	for i, idx := range sg.Indices {
+		row := t.Weights.Row(int(idx))
+		g := sg.Grad.Row(i)
+		for j, gv := range g {
+			row[j] -= lr * gv
+		}
+	}
+}
+
+// ApplyAdagrad scatters the sparse gradient with DLRM-style row-wise
+// Adagrad: each row keeps one accumulator fed by the mean squared gradient
+// of that row's update.
+func (t *Table) ApplyAdagrad(sg SparseGrad, lr float32) {
+	if sg.Grad.Rows != len(sg.Indices) || sg.Grad.Cols != t.Dim {
+		panic("embedding: ApplyAdagrad shape mismatch")
+	}
+	if t.adagradAcc == nil {
+		t.adagradAcc = make([]float32, t.NumRows)
+	}
+	for i, idx := range sg.Indices {
+		g := sg.Grad.Row(i)
+		var sq float64
+		for _, gv := range g {
+			sq += float64(gv) * float64(gv)
+		}
+		t.adagradAcc[idx] += float32(sq / float64(t.Dim))
+		scale := lr / (float32(math.Sqrt(float64(t.adagradAcc[idx]))) + 1e-8)
+		row := t.Weights.Row(int(idx))
+		for j, gv := range g {
+			row[j] -= scale * gv
+		}
+	}
+}
+
+// SizeBytes returns the table's weight storage footprint.
+func (t *Table) SizeBytes() int64 { return int64(t.NumRows) * int64(t.Dim) * 4 }
+
+// Group is an ordered set of embedding tables (one per categorical feature).
+type Group struct {
+	Tables []*Table
+}
+
+// NewGroup builds one table per cardinality with a shared embedding dim.
+func NewGroup(cardinalities []int, dim int, rng *tensor.RNG) *Group {
+	return NewGroupWithInit(cardinalities, nil, dim, rng)
+}
+
+// NewGroupWithInit builds tables whose init range follows initCardinalities
+// (nil means the actual cardinalities).
+func NewGroupWithInit(cardinalities, initCardinalities []int, dim int, rng *tensor.RNG) *Group {
+	g := &Group{}
+	for id, n := range cardinalities {
+		initRows := n
+		if initCardinalities != nil {
+			initRows = initCardinalities[id]
+		}
+		g.Tables = append(g.Tables, NewTableWithInitScale(id, n, dim, initRows, rng))
+	}
+	return g
+}
+
+// LookupAll gathers one batch per table. indices[t][i] is the categorical
+// index of sample i for feature t. Returns one [batch, Dim] matrix per table.
+func (g *Group) LookupAll(indices [][]int32) []*tensor.Matrix {
+	if len(indices) != len(g.Tables) {
+		panic("embedding: LookupAll wants one index slice per table")
+	}
+	out := make([]*tensor.Matrix, len(g.Tables))
+	for ti, t := range g.Tables {
+		out[ti] = t.Lookup(indices[ti])
+	}
+	return out
+}
+
+// TotalBytes returns the summed weight footprint of all tables.
+func (g *Group) TotalBytes() int64 {
+	var n int64
+	for _, t := range g.Tables {
+		n += t.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section (§IV). Each driver builds its workload from the
+// synthetic Criteo substitutes, runs the real compressors/trainer, and
+// formats the same rows or series the paper reports. DESIGN.md carries the
+// experiment index; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/nn"
+)
+
+// Options tunes experiment cost. Quick mode shrinks workloads so the whole
+// suite runs in CI; full mode uses paper-scale batches where feasible.
+type Options struct {
+	Quick bool
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Result, error)
+
+// registry maps experiment IDs to runners, with insertion order retained.
+var (
+	registry      = map[string]Runner{}
+	registryOrder []string
+)
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(opts)
+}
+
+// IDs lists all registered experiments in registration order.
+func IDs() []string {
+	out := make([]string, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opts Options) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := Run(id, opts)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// --- shared workload construction ------------------------------------------
+
+// env is a warmed DLRM on a scaled synthetic dataset, the common substrate
+// for the compression and homogenization experiments.
+type env struct {
+	Spec  criteo.Spec
+	Gen   *criteo.Generator
+	Model *model.DLRM
+	Dim   int
+}
+
+// datasetScale shrinks cardinalities so experiments run in seconds while
+// preserving the cross-table size distribution.
+func datasetScale(quick bool) int {
+	if quick {
+		return 4000
+	}
+	return 400
+}
+
+// warmSteps controls how far tables drift from initialization before
+// sampling (trained tables are what the paper compresses).
+func warmSteps(quick bool) int {
+	if quick {
+		return 40
+	}
+	return 300
+}
+
+// buildEnv constructs and warms a model on the scaled dataset.
+func buildEnv(spec criteo.Spec, dim int, opts Options) (*env, error) {
+	scaled := criteo.ScaledSpec(spec, datasetScale(opts.Quick))
+	gen := criteo.NewGenerator(scaled)
+	cfg := model.Config{
+		DenseFeatures:     scaled.DenseFeatures,
+		EmbeddingDim:      dim,
+		TableSizes:        scaled.Cardinalities,
+		InitCardinalities: scaled.FullCardinalities,
+		BottomMLP:         []int{64, 32},
+		TopMLP:            []int{64, 32},
+		Seed:              scaled.Seed + 100,
+	}
+	m, err := model.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt := &nn.SGD{LR: 0.05}
+	batch := 128
+	for i := 0; i < warmSteps(opts.Quick); i++ {
+		b := gen.NextBatch(batch)
+		m.TrainStep(b.Dense, b.Indices, b.Labels, opt, 0.3)
+	}
+	return &env{Spec: scaled, Gen: gen, Model: m, Dim: dim}, nil
+}
+
+// sampleLookups gathers one lookup batch per table (the data that flows
+// through the all-to-all).
+func (e *env) sampleLookups(batch int) ([][]float32, *criteo.Batch) {
+	b := e.Gen.NextBatch(batch)
+	out := make([][]float32, len(e.Model.Emb.Tables))
+	for t, tab := range e.Model.Emb.Tables {
+		out[t] = tab.Lookup(b.Indices[t]).Data
+	}
+	return out, b
+}
+
+// concat flattens per-table lookups into one stream (epoch-style sampling).
+func concat(samples [][]float32) []float32 {
+	var total int
+	for _, s := range samples {
+		total += len(s)
+	}
+	out := make([]float32, 0, total)
+	for _, s := range samples {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// moments returns mean, std, and excess kurtosis of a sample.
+func moments(x []float32) (mean, std, kurtosis float64) {
+	n := float64(len(x))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for _, v := range x {
+		mean += float64(v)
+	}
+	mean /= n
+	var m2, m4 float64
+	for _, v := range x {
+		d := float64(v) - mean
+		m2 += d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return mean, 0, 0
+	}
+	return mean, math.Sqrt(m2), m4/(m2*m2) - 3
+}
+
+// table renders rows as an aligned text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// sortedCopy returns indices 0..n-1 ordered by less.
+func sortedCopy(n int, less func(i, j int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	return idx
+}

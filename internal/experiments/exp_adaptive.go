@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/hybrid"
+)
+
+func init() {
+	register("fig5", runFig5)
+	register("fig6", runFig6)
+	register("fig9", runFig9)
+	register("fig10", runFig10)
+	register("table2", runTable2)
+	register("table3", runTable3)
+	register("table4", runTable4)
+}
+
+// runFig6 reproduces Fig. 6: the (unscaled) embedding-table cardinalities of
+// both datasets, spanning single digits to tens of millions.
+func runFig6(_ Options) (*Result, error) {
+	var rows [][]string
+	k, tb := criteo.KaggleCardinalities, criteo.TerabyteCardinalities
+	for t := 0; t < len(k); t++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", t),
+			fmt.Sprintf("%d", k[t]),
+			fmt.Sprintf("%d", tb[t]),
+		})
+	}
+	var minK, maxK = k[0], k[0]
+	for _, v := range k {
+		if v < minK {
+			minK = v
+		}
+		if v > maxK {
+			maxK = v
+		}
+	}
+	text := table([]string{"table", "kaggle rows", "terabyte rows"}, rows) +
+		fmt.Sprintf("\nKaggle spans %d to %d rows — the size diversity driving table-wise EBs.\n", minK, maxK)
+	return &Result{ID: "fig6", Title: "EMB table sizes of both datasets", Text: text}, nil
+}
+
+// homoAnalysis runs the offline analysis for one dataset.
+func homoAnalysis(spec criteo.Spec, opts Options, batch int, eb float32) (*env, *adapt.OfflineResult, error) {
+	e, err := buildEnv(spec, 16, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	samples, _ := e.sampleLookups(batch)
+	res, err := adapt.OfflineAnalysis(samples, e.Dim, adapt.OfflineOptions{SampleEB: eb})
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, res, nil
+}
+
+// runTable2 reproduces Table II: the L/M/S classification of all 26 tables
+// on both datasets.
+func runTable2(opts Options) (*Result, error) {
+	var sb strings.Builder
+	for _, spec := range []criteo.Spec{criteo.KaggleSpec(), criteo.TerabyteSpec()} {
+		batch := spec.DefaultBatch
+		if opts.Quick {
+			batch = 128
+		}
+		_, res, err := homoAnalysis(spec, opts, batch, probeEB(spec))
+		if err != nil {
+			return nil, err
+		}
+		header := []string{"EMB ID"}
+		row := []string{spec.Name}
+		for t, cl := range res.Classes {
+			header = append(header, fmt.Sprintf("%d", t))
+			row = append(row, cl.String())
+		}
+		sb.WriteString(table(header, [][]string{row}))
+		l, m, s := res.ClassCounts()
+		fmt.Fprintf(&sb, "counts: L=%d M=%d S=%d\n\n", l, m, s)
+	}
+	return &Result{ID: "table2", Title: "Classification of EMB tables", Text: sb.String()}, nil
+}
+
+func homoRankTable(spec criteo.Spec, opts Options, batch int, eb float32) (string, error) {
+	_, res, err := homoAnalysis(spec, opts, batch, eb)
+	if err != nil {
+		return "", err
+	}
+	ranked := res.RankedByHomoIndex()
+	limit := 9 // the paper lists representative tables only
+	if limit > len(ranked) {
+		limit = len(ranked)
+	}
+	var rows [][]string
+	for _, st := range ranked[:limit] {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", st.TableID),
+			fmt.Sprintf("%.3g", eb),
+			fmt.Sprintf("%d", st.OrigUnique),
+			fmt.Sprintf("%d", st.QuantUnique),
+			fmt.Sprintf("%d", st.Batch),
+			fmt.Sprintf("%.6f", st.PatternRatio),
+			fmt.Sprintf("%.4f", st.HomoIndex),
+			res.Classes[st.TableID].String(),
+		})
+	}
+	return table([]string{"TAB. ID", "EB", "#Ori.Patterns", "#Quant.Patterns", "Batch", "ratio (paper col.)", "homo idx (Eq.1)", "class"}, rows), nil
+}
+
+// runTable3 reproduces Table III: ranked homogenization on Kaggle
+// (batch 128, eb 0.01).
+func runTable3(opts Options) (*Result, error) {
+	text, err := homoRankTable(criteo.KaggleSpec(), opts, 128, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "table3", Title: "Ranked Homo Index on Kaggle", Text: text}, nil
+}
+
+// runTable4 reproduces Table IV: ranked homogenization on Terabyte
+// (batch 2048, eb 0.005).
+func runTable4(opts Options) (*Result, error) {
+	batch := 2048
+	if opts.Quick {
+		batch = 512
+	}
+	text, err := homoRankTable(criteo.TerabyteSpec(), opts, batch, 0.005)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "table4", Title: "Ranked Homo Index on Terabyte", Text: text}, nil
+}
+
+// trainWithController trains the distributed model under a given adaptive
+// configuration and reports final accuracy and mean compression ratio.
+func trainWithController(spec criteo.Spec, opts Options, build func(numTables int) (*adapt.Controller, []codec.Codec, error)) (acc float64, cr float64, err error) {
+	scaled := criteo.ScaledSpec(spec, datasetScale(opts.Quick))
+	gen := criteo.NewGenerator(scaled)
+	cfg := modelConfigFor(scaled, 16)
+	ctrl, codecs, err := build(len(cfg.TableSizes))
+	if err != nil {
+		return 0, 0, err
+	}
+	tr, err := dist.NewTrainer(dist.Options{
+		Ranks:      4,
+		Model:      cfg,
+		CodecFor:   func(t int) codec.Codec { return codecs[t] },
+		Controller: ctrl,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	steps := 300
+	if opts.Quick {
+		steps = 50
+	}
+	for i := 0; i < steps; i++ {
+		if _, err := tr.Step(gen.NextBatch(128)); err != nil {
+			return 0, 0, err
+		}
+	}
+	evalN := 4000
+	if opts.Quick {
+		evalN = 1000
+	}
+	acc, _ = tr.Evaluate(gen.NextBatch(evalN))
+	return acc, tr.CompressionRatio(), nil
+}
+
+func uniformCodecs(n int, eb float32) []codec.Codec {
+	out := make([]codec.Codec, n)
+	for i := range out {
+		out[i] = hybrid.New(eb, hybrid.Auto)
+	}
+	return out
+}
+
+// runFig5 reproduces Fig. 5: accuracy and compression ratio under different
+// decay functions (stepwise wins on CR while preserving convergence).
+func runFig5(opts Options) (*Result, error) {
+	spec := criteo.KaggleSpec()
+	schedules := []adapt.Schedule{adapt.ScheduleNone, adapt.ScheduleLinear, adapt.ScheduleLogarithmic, adapt.ScheduleStepwise}
+	phase := 150
+	if opts.Quick {
+		phase = 25
+	}
+	var rows [][]string
+	for _, sched := range schedules {
+		s := sched
+		acc, cr, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
+			classes := make([]adapt.Class, n)
+			for i := range classes {
+				classes[i] = adapt.ClassMedium
+			}
+			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), s, phase, 2)
+			return ctrl, uniformCodecs(n, 0.03), err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", sched, err)
+		}
+		rows = append(rows, []string{sched.String(), fmt.Sprintf("%.4f", acc), fmt.Sprintf("%.2f", cr)})
+	}
+	text := table([]string{"decay func", "accuracy", "CR"}, rows) +
+		"\nDecaying schedules start at 2x the base EB, so they out-compress the fixed\nbound while converging — stepwise gives the best CR/accuracy trade (Fig. 5).\n"
+	return &Result{ID: "fig5", Title: "Decay-function comparison", Text: text}, nil
+}
+
+// runFig9 reproduces Fig. 9: table-wise EB configuration vs a fixed global
+// EB — same accuracy, higher compression ratio (paper: up to 1.21x).
+func runFig9(opts Options) (*Result, error) {
+	var sb strings.Builder
+	for _, spec := range []criteo.Spec{criteo.KaggleSpec(), criteo.TerabyteSpec()} {
+		batch := spec.DefaultBatch
+		if opts.Quick {
+			batch = 128
+		}
+		// Classify tables offline first.
+		_, offline, err := homoAnalysis(spec, opts, batch, probeEB(spec))
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]string
+		// Fixed global EB = medium for all tables.
+		accG, crG, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
+			classes := make([]adapt.Class, n)
+			for i := range classes {
+				classes[i] = adapt.ClassMedium
+			}
+			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), adapt.ScheduleNone, 0, 1)
+			return ctrl, uniformCodecs(n, 0.03), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{"fixed-global-0.03", fmt.Sprintf("%.4f", accG), fmt.Sprintf("%.2f", crG), "-"})
+		// Table-wise EBs from the offline classification.
+		accT, crT, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
+			classes := offline.Classes
+			if len(classes) != n {
+				return nil, nil, fmt.Errorf("classification covers %d tables, want %d", len(classes), n)
+			}
+			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), adapt.ScheduleNone, 0, 1)
+			return ctrl, uniformCodecs(n, 0.03), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{"table-wise-L/M/S", fmt.Sprintf("%.4f", accT), fmt.Sprintf("%.2f", crT),
+			fmt.Sprintf("%.2fx", crT/crG)})
+		fmt.Fprintf(&sb, "dataset %s\n%s\n", spec.Name, table([]string{"config", "accuracy", "CR", "CR gain"}, rows))
+	}
+	sb.WriteString("Paper: table-wise EBs keep accuracy intact and raise CR up to 1.21x on Kaggle.\n")
+	return &Result{ID: "fig9", Title: "Table-wise error-bound configuration", Text: sb.String()}, nil
+}
+
+// runFig10 reproduces Fig. 10: gradual stepwise decay from 2x/3x the base
+// bound vs an abrupt drop — decay converges better and compresses more.
+func runFig10(opts Options) (*Result, error) {
+	spec := criteo.KaggleSpec()
+	phase := 150
+	if opts.Quick {
+		phase = 25
+	}
+	cases := []struct {
+		name   string
+		sched  adapt.Schedule
+		factor float64
+	}{
+		{"decay_2x", adapt.ScheduleStepwise, 2},
+		{"drop_2x", adapt.ScheduleDrop, 2},
+		{"decay_3x", adapt.ScheduleStepwise, 3},
+		{"drop_3x", adapt.ScheduleDrop, 3},
+	}
+	var rows [][]string
+	for _, cse := range cases {
+		c := cse
+		acc, cr, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
+			classes := make([]adapt.Class, n)
+			for i := range classes {
+				classes[i] = adapt.ClassMedium
+			}
+			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), c.sched, phase, c.factor)
+			return ctrl, uniformCodecs(n, 0.03), err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cse.name, err)
+		}
+		rows = append(rows, []string{cse.name, fmt.Sprintf("%.4f", acc), fmt.Sprintf("%.2f", cr)})
+	}
+	text := table([]string{"strategy", "accuracy", "CR"}, rows) +
+		"\nGradual decay tolerates a larger starting bound than an abrupt drop,\nyielding a further 1.09x/1.03x CR in the paper (1.32x/1.06x over fixed).\n"
+	return &Result{ID: "fig10", Title: "Decay vs abrupt drop", Text: text}, nil
+}

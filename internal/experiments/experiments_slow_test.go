@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The training-loop experiments are heavier; they run in quick mode and are
+// skipped under -short.
+
+func TestFig8AccuracyMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "fig8")
+	for _, m := range []string{"fp32-baseline", "fp16", "fp8-e4m3", "ours-eb0.02"} {
+		if !strings.Contains(res.Text, m) {
+			t.Fatalf("fig8 missing %s:\n%s", m, res.Text)
+		}
+	}
+}
+
+func TestFig5DecayFunctions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "fig5")
+	for _, s := range []string{"none", "linear", "logarithmic", "stepwise"} {
+		if !strings.Contains(res.Text, s) {
+			t.Fatalf("fig5 missing %s:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestFig9TableWise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "fig9")
+	if !strings.Contains(res.Text, "table-wise-L/M/S") {
+		t.Fatalf("fig9 text:\n%s", res.Text)
+	}
+}
+
+func TestFig10DecayVsDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "fig10")
+	for _, s := range []string{"decay_2x", "drop_2x", "decay_3x", "drop_3x"} {
+		if !strings.Contains(res.Text, s) {
+			t.Fatalf("fig10 missing %s:\n%s", s, res.Text)
+		}
+	}
+}
+
+func TestFig12EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "fig12")
+	if !strings.Contains(res.Text, "end-to-end speedup") {
+		t.Fatalf("fig12 text:\n%s", res.Text)
+	}
+}

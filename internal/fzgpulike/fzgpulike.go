@@ -1,0 +1,192 @@
+// Package fzgpulike implements an FZ-GPU-family error-bounded lossy
+// compressor: error-bounded quantization followed by a bitshuffle transform
+// and zero-run sparse encoding. The design goal of the original is extreme
+// throughput from branch-free encoding; the cost is a lower compression
+// ratio than entropy- or dictionary-based coding — exactly the trade-off the
+// paper's Fig. 11 shows.
+package fzgpulike
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dlrmcomp/internal/quant"
+)
+
+var errCorrupt = errors.New("fzgpulike: corrupt frame")
+
+// Codec is the FZ-GPU-like compressor.
+type Codec struct {
+	EB float32
+}
+
+// New returns the codec with the given error bound.
+func New(eb float32) *Codec { return &Codec{EB: eb} }
+
+// Name implements codec.Codec.
+func (c *Codec) Name() string { return "fz-gpu-like" }
+
+// Lossy implements codec.Codec.
+func (c *Codec) Lossy() bool { return true }
+
+// SetErrorBound implements codec.ErrorBounded.
+func (c *Codec) SetErrorBound(eb float32) { c.EB = eb }
+
+// ErrorBound implements codec.ErrorBounded.
+func (c *Codec) ErrorBound() float32 { return c.EB }
+
+// Bitshuffle transposes blocks of 32 uint32 values into 32 bit-plane words:
+// output word b holds bit b of each of the 32 input values. Small symbols
+// leave the high bit-planes all-zero, which the run-length stage removes.
+// The tail block (< 32 values) is zero-padded.
+func Bitshuffle(vals []uint32) []uint32 {
+	nBlocks := (len(vals) + 31) / 32
+	out := make([]uint32, nBlocks*32)
+	for blk := 0; blk < nBlocks; blk++ {
+		var in [32]uint32
+		copy(in[:], vals[blk*32:min(len(vals), blk*32+32)])
+		base := blk * 32
+		for b := 0; b < 32; b++ {
+			var w uint32
+			for k := 0; k < 32; k++ {
+				w |= ((in[k] >> b) & 1) << k
+			}
+			out[base+b] = w
+		}
+	}
+	return out
+}
+
+// Unbitshuffle inverts Bitshuffle; n is the original value count.
+func Unbitshuffle(planes []uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	nBlocks := (n + 31) / 32
+	for blk := 0; blk < nBlocks; blk++ {
+		base := blk * 32
+		for b := 0; b < 32; b++ {
+			w := planes[base+b]
+			for k := 0; k < 32; k++ {
+				idx := blk*32 + k
+				if idx < n {
+					out[idx] |= ((w >> k) & 1) << b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// zeroRLE encodes a byte stream as alternating tokens:
+// 0x00 run -> (0, uvarint runLen); literal run -> (1, uvarint len, bytes).
+func zeroRLE(src []byte) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(src) {
+		if src[i] == 0 {
+			j := i
+			for j < len(src) && src[j] == 0 {
+				j++
+			}
+			out = append(out, 0)
+			n := binary.PutUvarint(tmp[:], uint64(j-i))
+			out = append(out, tmp[:n]...)
+			i = j
+			continue
+		}
+		j := i
+		// Break literal runs at a zero run of length >= 2 (a single zero
+		// is cheaper inline than a token pair).
+		for j < len(src) {
+			if src[j] == 0 && (j+1 >= len(src) || src[j+1] == 0) {
+				break
+			}
+			j++
+		}
+		out = append(out, 1)
+		n := binary.PutUvarint(tmp[:], uint64(j-i))
+		out = append(out, tmp[:n]...)
+		out = append(out, src[i:j]...)
+		i = j
+	}
+	return out
+}
+
+func unZeroRLE(data []byte) ([]byte, error) {
+	var out []byte
+	for len(data) > 0 {
+		tok := data[0]
+		data = data[1:]
+		switch tok {
+		case 0:
+			l, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, errCorrupt
+			}
+			data = data[n:]
+			out = append(out, make([]byte, l)...)
+		case 1:
+			l, n := binary.Uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return nil, errCorrupt
+			}
+			out = append(out, data[n:n+int(l)]...)
+			data = data[n+int(l):]
+		default:
+			return nil, errCorrupt
+		}
+	}
+	return out, nil
+}
+
+// Compress implements codec.Codec.
+func (c *Codec) Compress(src []float32, dim int) ([]byte, error) {
+	if dim <= 0 || len(src)%dim != 0 {
+		return nil, fmt.Errorf("fzgpulike: bad shape len=%d dim=%d", len(src), dim)
+	}
+	q := quant.New(c.EB)
+	codes := make([]int32, len(src))
+	q.Quantize(codes, src)
+	planes := Bitshuffle(quant.ZigZagSlice(codes))
+	raw := make([]byte, len(planes)*4)
+	for i, w := range planes {
+		binary.LittleEndian.PutUint32(raw[4*i:], w)
+	}
+	payload := zeroRLE(raw)
+
+	out := make([]byte, 12, 12+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], math.Float32bits(c.EB))
+	binary.LittleEndian.PutUint32(out[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(src)))
+	return append(out, payload...), nil
+}
+
+// Decompress implements codec.Codec.
+func (c *Codec) Decompress(frame []byte) ([]float32, int, error) {
+	if len(frame) < 12 {
+		return nil, 0, errCorrupt
+	}
+	eb := math.Float32frombits(binary.LittleEndian.Uint32(frame[0:]))
+	dim := int(binary.LittleEndian.Uint32(frame[4:]))
+	n := int(binary.LittleEndian.Uint32(frame[8:]))
+	if eb <= 0 || dim <= 0 || n%dim != 0 {
+		return nil, 0, errCorrupt
+	}
+	raw, err := unZeroRLE(frame[12:])
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw)%4 != 0 || len(raw) < ((n+31)/32)*32*4 {
+		return nil, 0, errCorrupt
+	}
+	planes := make([]uint32, len(raw)/4)
+	for i := range planes {
+		planes[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	codes := quant.UnZigZagSlice(Unbitshuffle(planes, n))
+	out := make([]float32, n)
+	quant.New(eb).Dequantize(out, codes)
+	return out, dim, nil
+}

@@ -1,0 +1,89 @@
+package huffman
+
+// BitWriter accumulates bits MSB-first into a byte buffer.
+type BitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur uint // bits currently held in cur
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBits appends the low n bits of v (MSB of those n bits first).
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	if n > 57 {
+		w.WriteBits(v>>32, n-32)
+		w.WriteBits(v&0xFFFFFFFF, 32)
+		return
+	}
+	w.cur = (w.cur << n) | (v & ((1 << n) - 1))
+	w.nCur += n
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nCur))
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+func (w *BitWriter) Bytes() []byte {
+	if w.nCur > 0 {
+		pad := 8 - w.nCur
+		w.buf = append(w.buf, byte(w.cur<<pad))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// BitReader consumes bits MSB-first from a byte slice.
+type BitReader struct {
+	data []byte
+	pos  int // byte position
+	cur  uint64
+	nCur uint
+}
+
+// NewBitReader wraps data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{data: data} }
+
+// ReadBits reads n bits (n <= 57), returning them right-aligned. Reading
+// past the end yields zero bits, which callers bound by symbol counts.
+func (r *BitReader) ReadBits(n uint) uint64 {
+	for r.nCur < n {
+		var b byte
+		if r.pos < len(r.data) {
+			b = r.data[r.pos]
+			r.pos++
+		}
+		r.cur = (r.cur << 8) | uint64(b)
+		r.nCur += 8
+	}
+	r.nCur -= n
+	v := (r.cur >> r.nCur) & ((1 << n) - 1)
+	return v
+}
+
+// Peek returns the next n bits without consuming them.
+func (r *BitReader) Peek(n uint) uint64 {
+	for r.nCur < n {
+		var b byte
+		if r.pos < len(r.data) {
+			b = r.data[r.pos]
+			r.pos++
+		}
+		r.cur = (r.cur << 8) | uint64(b)
+		r.nCur += 8
+	}
+	return (r.cur >> (r.nCur - n)) & ((1 << n) - 1)
+}
+
+// Skip consumes n bits previously Peeked.
+func (r *BitReader) Skip(n uint) {
+	if r.nCur < n {
+		r.Peek(n)
+	}
+	r.nCur -= n
+}

@@ -1,0 +1,254 @@
+// Package hybrid implements the paper's hybrid error-bounded lossy
+// compressor for embedding batches (§III-D): an error-bounded quantization
+// encoder feeding one of two lossless encoders — the vector-based LZ encoder
+// (package vlz) or the optimized entropy encoder (package huffman) — with
+// the per-table choice made offline by the Eq. (2) speed-up model or online
+// by smallest-output selection.
+package hybrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"dlrmcomp/internal/huffman"
+	"dlrmcomp/internal/quant"
+	"dlrmcomp/internal/vlz"
+)
+
+var errCorrupt = errors.New("hybrid: corrupt frame")
+
+// Mode selects the lossless stage.
+type Mode int
+
+const (
+	// Auto compresses with both encoders and keeps the smaller frame
+	// (the per-table "hybrid" column of Table V).
+	Auto Mode = iota
+	// VectorLZ forces the vector-based LZ encoder ("Ours-Vector").
+	VectorLZ
+	// Entropy forces the optimized Huffman encoder ("Ours-Huffman").
+	Entropy
+)
+
+func (m Mode) String() string {
+	switch m {
+	case VectorLZ:
+		return "ours-vector"
+	case Entropy:
+		return "ours-huffman"
+	default:
+		return "ours-hybrid"
+	}
+}
+
+// Codec is the paper's compressor.
+type Codec struct {
+	EB     float32
+	Mode   Mode
+	Window int // vector-LZ window (rows); 0 = vlz.DefaultWindow
+}
+
+// New returns the hybrid codec with the given error bound and mode.
+func New(eb float32, mode Mode) *Codec { return &Codec{EB: eb, Mode: mode} }
+
+// Name implements codec.Codec.
+func (c *Codec) Name() string { return c.Mode.String() }
+
+// Lossy implements codec.Codec.
+func (c *Codec) Lossy() bool { return true }
+
+// SetErrorBound implements codec.ErrorBounded.
+func (c *Codec) SetErrorBound(eb float32) { c.EB = eb }
+
+// ErrorBound implements codec.ErrorBounded.
+func (c *Codec) ErrorBound() float32 { return c.EB }
+
+// Sub-encoder tags in the frame header.
+const (
+	subVLZ     = 0
+	subEntropy = 1
+)
+
+// Compress implements codec.Codec.
+func (c *Codec) Compress(src []float32, dim int) ([]byte, error) {
+	if dim <= 0 || len(src)%dim != 0 {
+		return nil, fmt.Errorf("hybrid: bad shape len=%d dim=%d", len(src), dim)
+	}
+	if c.EB <= 0 {
+		return nil, fmt.Errorf("hybrid: error bound %v must be positive", c.EB)
+	}
+	codes := make([]int32, len(src))
+	quant.New(c.EB).Quantize(codes, src)
+
+	var payload []byte
+	var sub byte
+	switch c.Mode {
+	case VectorLZ:
+		p, err := vlz.New(c.Window).Encode(codes, dim)
+		if err != nil {
+			return nil, err
+		}
+		payload, sub = p, subVLZ
+	case Entropy:
+		payload, sub = huffman.Encode(quant.ZigZagSlice(codes)), subEntropy
+	default: // Auto: pick the smaller frame
+		pv, err := vlz.New(c.Window).Encode(codes, dim)
+		if err != nil {
+			return nil, err
+		}
+		ph := huffman.Encode(quant.ZigZagSlice(codes))
+		if len(pv) <= len(ph) {
+			payload, sub = pv, subVLZ
+		} else {
+			payload, sub = ph, subEntropy
+		}
+	}
+
+	out := make([]byte, 13, 13+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], math.Float32bits(c.EB))
+	binary.LittleEndian.PutUint32(out[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(src)))
+	out[12] = sub
+	return append(out, payload...), nil
+}
+
+// Decompress implements codec.Codec.
+func (c *Codec) Decompress(frame []byte) ([]float32, int, error) {
+	if len(frame) < 13 {
+		return nil, 0, errCorrupt
+	}
+	eb := math.Float32frombits(binary.LittleEndian.Uint32(frame[0:]))
+	dim := int(binary.LittleEndian.Uint32(frame[4:]))
+	n := int(binary.LittleEndian.Uint32(frame[8:]))
+	sub := frame[12]
+	if eb <= 0 || dim <= 0 || n < 0 || n%max(dim, 1) != 0 {
+		return nil, 0, errCorrupt
+	}
+	var codes []int32
+	switch sub {
+	case subVLZ:
+		decoded, gotDim, err := vlz.Decode(frame[13:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if gotDim != dim || len(decoded) != n {
+			return nil, 0, errCorrupt
+		}
+		codes = decoded
+	case subEntropy:
+		syms, err := huffman.Decode(frame[13:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(syms) != n {
+			return nil, 0, errCorrupt
+		}
+		codes = quant.UnZigZagSlice(syms)
+	default:
+		return nil, 0, errCorrupt
+	}
+	out := make([]float32, n)
+	quant.New(eb).Dequantize(out, codes)
+	return out, dim, nil
+}
+
+// SubEncoderOf reports which lossless stage produced the frame ("vlz" or
+// "huffman"), for experiment reporting.
+func SubEncoderOf(frame []byte) (string, error) {
+	if len(frame) < 13 {
+		return "", errCorrupt
+	}
+	switch frame[12] {
+	case subVLZ:
+		return "vlz", nil
+	case subEntropy:
+		return "huffman", nil
+	}
+	return "", errCorrupt
+}
+
+// --- Eq. (2) speed-up model and compressor selection (Algorithm 2) --------
+
+// Throughput describes a compressor's measured or calibrated speeds in
+// bytes per second.
+type Throughput struct {
+	Compress   float64
+	Decompress float64
+}
+
+// Speedup evaluates Eq. (2) of the paper:
+//
+//	speedup = 1 / (1/CR + B·(1/Tc + 1/Td))
+//
+// where CR is the compression ratio, B the network bandwidth, and Tc/Td the
+// compression/decompression throughputs (all in consistent byte/s units).
+func Speedup(cr, netBandwidth float64, tp Throughput) float64 {
+	if cr <= 0 || tp.Compress <= 0 || tp.Decompress <= 0 {
+		return 0
+	}
+	return 1.0 / (1.0/cr + netBandwidth*(1.0/tp.Compress+1.0/tp.Decompress))
+}
+
+// Candidate couples a mode with its measured stats on sampled data.
+type Candidate struct {
+	Mode       Mode
+	Ratio      float64
+	Throughput Throughput
+	Speedup    float64
+}
+
+// SelectEncoder implements Algorithm 2 for one table: it round-trips the
+// sampled batch through both encoders, measures ratio and throughput, and
+// returns the mode with the best Eq. (2) speed-up under the given network
+// bandwidth (bytes/s). The returned candidates are sorted by evaluation
+// order (VectorLZ, Entropy) for reporting.
+func SelectEncoder(sample []float32, dim int, eb float32, netBandwidth float64) (Mode, []Candidate, error) {
+	if len(sample) == 0 {
+		return Entropy, nil, fmt.Errorf("hybrid: empty sample")
+	}
+	var cands []Candidate
+	for _, mode := range []Mode{VectorLZ, Entropy} {
+		c := New(eb, mode)
+		start := time.Now()
+		frame, err := c.Compress(sample, dim)
+		if err != nil {
+			return 0, nil, err
+		}
+		ct := time.Since(start)
+		start = time.Now()
+		if _, _, err := c.Decompress(frame); err != nil {
+			return 0, nil, err
+		}
+		dt := time.Since(start)
+		bytesIn := float64(len(sample) * 4)
+		tp := Throughput{
+			Compress:   bytesIn / secondsAtLeast(ct),
+			Decompress: bytesIn / secondsAtLeast(dt),
+		}
+		cr := bytesIn / float64(len(frame))
+		cands = append(cands, Candidate{
+			Mode:       mode,
+			Ratio:      cr,
+			Throughput: tp,
+			Speedup:    Speedup(cr, netBandwidth, tp),
+		})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Speedup > best.Speedup {
+			best = c
+		}
+	}
+	return best.Mode, cands, nil
+}
+
+func secondsAtLeast(d time.Duration) float64 {
+	s := d.Seconds()
+	if s < 1e-9 {
+		return 1e-9
+	}
+	return s
+}

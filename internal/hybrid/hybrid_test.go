@@ -1,0 +1,240 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/quant"
+	"dlrmcomp/internal/tensor"
+)
+
+// hotKeyBatch builds a batch like embedding lookups under Zipf queries:
+// many repeats of a small vocabulary of rows.
+func hotKeyBatch(rng *tensor.RNG, rows, dim, vocabSize int, std float32) []float32 {
+	vocab := make([][]float32, vocabSize)
+	for v := range vocab {
+		vocab[v] = make([]float32, dim)
+		rng.FillNormal(vocab[v], 0, std)
+	}
+	var src []float32
+	for r := 0; r < rows; r++ {
+		v := rng.Intn(vocabSize)
+		if rng.Float64() < 0.6 {
+			v = rng.Intn(max(1, vocabSize/8)) // hot head
+		}
+		src = append(src, vocab[v]...)
+	}
+	return src
+}
+
+func TestRoundTripAllModes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := hotKeyBatch(rng, 256, 16, 32, 0.5)
+	for _, mode := range []Mode{Auto, VectorLZ, Entropy} {
+		c := New(0.01, mode)
+		recon, ratio, err := codec.RoundTrip(c, src, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := quant.MaxError(src, recon); e > 0.01+1e-5 {
+			t.Fatalf("mode %v: error bound violated: %v", mode, e)
+		}
+		if ratio < 1 {
+			t.Fatalf("mode %v: ratio %.2f < 1", mode, ratio)
+		}
+	}
+}
+
+func TestAutoPicksSmallerFrame(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	src := hotKeyBatch(rng, 512, 32, 16, 0.5)
+	fv, err := New(0.01, VectorLZ).Compress(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := New(0.01, Entropy).Compress(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := New(0.01, Auto).Compress(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa) != min(len(fv), len(fh)) {
+		t.Fatalf("auto frame %d, vlz %d, huffman %d", len(fa), len(fv), len(fh))
+	}
+}
+
+func TestVLZWinsOnRepeatedRows(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	// Tiny vocabulary -> massive row reuse -> vector LZ territory.
+	src := hotKeyBatch(rng, 1024, 32, 8, 1.0)
+	fa, err := New(0.01, Auto).Compress(src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := SubEncoderOf(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != "vlz" {
+		t.Fatalf("expected vlz to win on repeated rows, got %s", sub)
+	}
+}
+
+func TestHuffmanWinsOnConcentratedUniqueRows(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	// Every row unique but values concentrated near 0 (Gaussian):
+	// no row repeats for LZ, low entropy for Huffman.
+	n := 512 * 16
+	src := make([]float32, n)
+	rng.FillNormal(src, 0, 0.02)
+	fa, err := New(0.01, Auto).Compress(src, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := SubEncoderOf(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != "huffman" {
+		t.Fatalf("expected huffman to win on unique concentrated rows, got %s", sub)
+	}
+}
+
+func TestLargerEBHigherRatio(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	src := hotKeyBatch(rng, 512, 16, 200, 0.5)
+	ratioAt := func(eb float32) float64 {
+		frame, err := New(eb, Auto).Compress(src, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return codec.Ratio(len(src), frame)
+	}
+	if ratioAt(0.05) <= ratioAt(0.005) {
+		t.Fatal("larger error bound should raise compression ratio")
+	}
+}
+
+func TestErrorBoundHonoredProperty(t *testing.T) {
+	f := func(seed uint16, ebSel, modeSel uint8) bool {
+		rng := tensor.NewRNG(uint64(seed) + 1)
+		eb := []float32{0.001, 0.01, 0.03, 0.1}[int(ebSel)%4]
+		mode := []Mode{Auto, VectorLZ, Entropy}[int(modeSel)%3]
+		dim := 1 + rng.Intn(32)
+		rows := 1 + rng.Intn(64)
+		src := make([]float32, rows*dim)
+		rng.FillNormal(src, 0, 1)
+		c := New(eb, mode)
+		recon, _, err := codec.RoundTrip(c, src, dim)
+		if err != nil {
+			return false
+		}
+		return quant.MaxError(src, recon) <= eb+1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	if _, err := New(0.01, Auto).Compress([]float32{1, 2, 3}, 2); err == nil {
+		t.Fatal("bad shape should error")
+	}
+	if _, err := New(0, Auto).Compress([]float32{1, 2}, 2); err == nil {
+		t.Fatal("zero eb should error")
+	}
+	if _, _, err := New(0.01, Auto).Decompress([]byte{1}); err == nil {
+		t.Fatal("short frame should error")
+	}
+}
+
+func TestSpeedupModel(t *testing.T) {
+	// Infinite codec throughput: speedup -> CR.
+	tp := Throughput{Compress: 1e18, Decompress: 1e18}
+	if s := Speedup(10, 4e9, tp); math.Abs(s-10) > 1e-6 {
+		t.Fatalf("speedup = %v, want 10", s)
+	}
+	// Very slow codec: speedup < 1 even with great CR.
+	slow := Throughput{Compress: 1e6, Decompress: 1e6}
+	if s := Speedup(100, 4e9, slow); s >= 1 {
+		t.Fatalf("slow codec should not speed up, got %v", s)
+	}
+	// Degenerate inputs.
+	if Speedup(0, 4e9, tp) != 0 || Speedup(10, 4e9, Throughput{}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestSpeedupMonotoneInCR(t *testing.T) {
+	tp := Throughput{Compress: 40e9, Decompress: 200e9}
+	prev := 0.0
+	for _, cr := range []float64{1, 2, 5, 10, 20} {
+		s := Speedup(cr, 4e9, tp)
+		if s <= prev {
+			t.Fatalf("speedup should grow with CR: %v at cr=%v", s, cr)
+		}
+		prev = s
+	}
+}
+
+func TestSelectEncoder(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	src := hotKeyBatch(rng, 512, 16, 8, 1.0)
+	mode, cands, err := SelectEncoder(src, 16, 0.01, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("want 2 candidates, got %d", len(cands))
+	}
+	// On heavy row reuse the selected encoder should achieve the better
+	// ratio by a wide margin, and selection must return one of the modes.
+	if mode != VectorLZ && mode != Entropy {
+		t.Fatalf("unexpected mode %v", mode)
+	}
+	if _, _, err := SelectEncoder(nil, 16, 0.01, 4e9); err == nil {
+		t.Fatal("empty sample should error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(0.01, Auto).Name() != "ours-hybrid" ||
+		New(0.01, VectorLZ).Name() != "ours-vector" ||
+		New(0.01, Entropy).Name() != "ours-huffman" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func BenchmarkHybridCompress2048x64(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	src := hotKeyBatch(rng, 2048, 64, 500, 0.3)
+	c := New(0.01, Auto)
+	b.SetBytes(int64(len(src) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(src, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridDecompress2048x64(b *testing.B) {
+	rng := tensor.NewRNG(8)
+	src := hotKeyBatch(rng, 2048, 64, 500, 0.3)
+	c := New(0.01, Auto)
+	frame, err := c.Compress(src, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src) * 4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decompress(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

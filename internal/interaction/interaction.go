@@ -1,0 +1,122 @@
+// Package interaction implements DLRM's dot-product feature-interaction
+// layer: given the bottom-MLP output and the embedding lookups (all of the
+// same dimension d), it computes every pairwise dot product among the
+// feature vectors and concatenates those with the dense vector, producing
+// the input of the top MLP.
+package interaction
+
+import (
+	"fmt"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// DotInteraction performs the pairwise-dot feature interaction.
+// With F = 1 + numSparse feature vectors of dim d per sample, the output per
+// sample is [dense (d) | upper-triangle dots (F*(F-1)/2)].
+type DotInteraction struct {
+	NumSparse int
+	Dim       int
+
+	// cached inputs for backward
+	dense  *tensor.Matrix
+	sparse []*tensor.Matrix
+}
+
+// NewDotInteraction builds the layer for numSparse embedding features of
+// dimension dim.
+func NewDotInteraction(numSparse, dim int) *DotInteraction {
+	return &DotInteraction{NumSparse: numSparse, Dim: dim}
+}
+
+// OutDim returns the per-sample output width.
+func (di *DotInteraction) OutDim() int {
+	f := di.NumSparse + 1
+	return di.Dim + f*(f-1)/2
+}
+
+// feature returns feature vector k of sample i (k = 0 is dense).
+func (di *DotInteraction) feature(k, i int) []float32 {
+	if k == 0 {
+		return di.dense.Row(i)
+	}
+	return di.sparse[k-1].Row(i)
+}
+
+// Forward computes the interaction for a batch. dense is [n, Dim]; each
+// sparse[t] is [n, Dim].
+func (di *DotInteraction) Forward(dense *tensor.Matrix, sparse []*tensor.Matrix) *tensor.Matrix {
+	if len(sparse) != di.NumSparse {
+		panic(fmt.Sprintf("interaction: want %d sparse features, got %d", di.NumSparse, len(sparse)))
+	}
+	if dense.Cols != di.Dim {
+		panic("interaction: dense dim mismatch")
+	}
+	n := dense.Rows
+	for t, s := range sparse {
+		if s.Rows != n || s.Cols != di.Dim {
+			panic(fmt.Sprintf("interaction: sparse[%d] shape %dx%d", t, s.Rows, s.Cols))
+		}
+	}
+	di.dense = dense
+	di.sparse = sparse
+
+	out := tensor.NewMatrix(n, di.OutDim())
+	f := di.NumSparse + 1
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		copy(row[:di.Dim], dense.Row(i))
+		pos := di.Dim
+		for a := 1; a < f; a++ {
+			for b := 0; b < a; b++ {
+				row[pos] = tensor.Dot(di.feature(a, i), di.feature(b, i))
+				pos++
+			}
+		}
+	}
+	return out
+}
+
+// Backward maps dOut back to gradients for the dense input and each sparse
+// input. Each dot term z_ab = <v_a, v_b> contributes dz*v_b to grad(v_a) and
+// dz*v_a to grad(v_b); the copied dense part passes its gradient through.
+func (di *DotInteraction) Backward(dOut *tensor.Matrix) (dDense *tensor.Matrix, dSparse []*tensor.Matrix) {
+	if di.dense == nil {
+		panic("interaction: Backward before Forward")
+	}
+	n := di.dense.Rows
+	if dOut.Rows != n || dOut.Cols != di.OutDim() {
+		panic("interaction: Backward shape mismatch")
+	}
+	dDense = tensor.NewMatrix(n, di.Dim)
+	dSparse = make([]*tensor.Matrix, di.NumSparse)
+	for t := range dSparse {
+		dSparse[t] = tensor.NewMatrix(n, di.Dim)
+	}
+	gradOf := func(k, i int) []float32 {
+		if k == 0 {
+			return dDense.Row(i)
+		}
+		return dSparse[k-1].Row(i)
+	}
+	f := di.NumSparse + 1
+	for i := 0; i < n; i++ {
+		row := dOut.Row(i)
+		// Pass-through for the copied dense features.
+		copy(dDense.Row(i), row[:di.Dim])
+		pos := di.Dim
+		for a := 1; a < f; a++ {
+			for b := 0; b < a; b++ {
+				dz := row[pos]
+				pos++
+				if dz == 0 {
+					continue
+				}
+				va, vb := di.feature(a, i), di.feature(b, i)
+				tensor.Axpy(dz, vb, gradOf(a, i))
+				tensor.Axpy(dz, va, gradOf(b, i))
+			}
+		}
+	}
+	return dDense, dSparse
+}

@@ -1,0 +1,259 @@
+// Package lz4like provides the lossless baseline compressors the paper
+// compares against: a from-scratch byte-level LZSS with the classic small
+// (4 KB) window and variable-length matches — the algorithmic family of
+// nvCOMP-LZ4 — and a Deflate codec built on the standard library, standing
+// in for nvCOMP-Deflate. Both operate on the raw float32 bytes of the batch,
+// which is exactly why they achieve low ratios on embedding data: the
+// mantissa bytes are high-entropy and repeats rarely align at byte level
+// unless whole vectors recur close together.
+package lz4like
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+var errCorrupt = errors.New("lz4like: corrupt frame")
+
+// Window is the classic byte-level LZ sliding window (contrast with the
+// vector-based encoder's row-granular window).
+const Window = 4096
+
+const (
+	minMatch   = 4
+	hashBits   = 14
+	maxChainLn = 16 // hash-chain probes per position
+)
+
+// LZSSCodec is the nvCOMP-LZ4-family baseline (lossless).
+type LZSSCodec struct{}
+
+// Name implements codec.Codec.
+func (LZSSCodec) Name() string { return "lz4-like" }
+
+// Lossy implements codec.Codec.
+func (LZSSCodec) Lossy() bool { return false }
+
+func toBytes(src []float32) []byte {
+	out := make([]byte, len(src)*4)
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+func fromBytes(raw []byte) ([]float32, error) {
+	if len(raw)%4 != 0 {
+		return nil, errCorrupt
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// CompressBytes runs LZSS over an arbitrary byte slice. The format is a
+// token stream: control byte 0 = literal run (uvarint length + bytes),
+// 1 = match (uvarint distance, uvarint length).
+func CompressBytes(src []byte) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+
+	head := make([]int32, 1<<hashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+
+	emitLiterals := func(lo, hi int) {
+		if hi <= lo {
+			return
+		}
+		out = append(out, 0)
+		n := binary.PutUvarint(tmp[:], uint64(hi-lo))
+		out = append(out, tmp[:n]...)
+		out = append(out, src[lo:hi]...)
+	}
+
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hash4(src[i:])
+		bestLen, bestDist := 0, 0
+		cand := head[h]
+		for probes := 0; probes < maxChainLn && cand >= 0 && int(cand) >= i-Window; probes++ {
+			c := int(cand)
+			l := 0
+			maxL := len(src) - i
+			for l < maxL && src[c+l] == src[i+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen, bestDist = l, i-c
+			}
+			cand = prev[c]
+		}
+		if bestLen >= minMatch {
+			emitLiterals(litStart, i)
+			out = append(out, 1)
+			n := binary.PutUvarint(tmp[:], uint64(bestDist))
+			out = append(out, tmp[:n]...)
+			n = binary.PutUvarint(tmp[:], uint64(bestLen))
+			out = append(out, tmp[:n]...)
+			// Insert hash entries across the match (sparse to stay fast).
+			end := i + bestLen
+			for ; i < end && i+minMatch <= len(src); i++ {
+				hh := hash4(src[i:])
+				prev[i] = head[hh]
+				head[hh] = int32(i)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		prev[i] = head[h]
+		head[h] = int32(i)
+		i++
+	}
+	emitLiterals(litStart, len(src))
+	return out
+}
+
+// DecompressBytes inverts CompressBytes.
+func DecompressBytes(data []byte) ([]byte, error) {
+	var out []byte
+	for len(data) > 0 {
+		tok := data[0]
+		data = data[1:]
+		switch tok {
+		case 0:
+			l, n := binary.Uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return nil, errCorrupt
+			}
+			out = append(out, data[n:n+int(l)]...)
+			data = data[n+int(l):]
+		case 1:
+			dist, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, errCorrupt
+			}
+			data = data[n:]
+			l, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, errCorrupt
+			}
+			data = data[n:]
+			d := int(dist)
+			if d <= 0 || d > len(out) {
+				return nil, errCorrupt
+			}
+			// Byte-at-a-time copy supports overlapping matches.
+			start := len(out) - d
+			for k := 0; k < int(l); k++ {
+				out = append(out, out[start+k])
+			}
+		default:
+			return nil, errCorrupt
+		}
+	}
+	return out, nil
+}
+
+// Compress implements codec.Codec over the float batch bytes.
+func (LZSSCodec) Compress(src []float32, dim int) ([]byte, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lz4like: bad dim %d", dim)
+	}
+	payload := CompressBytes(toBytes(src))
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(dim))
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(src)))
+	return append(out, payload...), nil
+}
+
+// Decompress implements codec.Codec.
+func (LZSSCodec) Decompress(frame []byte) ([]float32, int, error) {
+	if len(frame) < 8 {
+		return nil, 0, errCorrupt
+	}
+	dim := int(binary.LittleEndian.Uint32(frame[0:]))
+	n := int(binary.LittleEndian.Uint32(frame[4:]))
+	raw, err := DecompressBytes(frame[8:])
+	if err != nil {
+		return nil, 0, err
+	}
+	vals, err := fromBytes(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vals) != n || dim <= 0 {
+		return nil, 0, errCorrupt
+	}
+	return vals, dim, nil
+}
+
+// DeflateCodec wraps compress/flate as the nvCOMP-Deflate stand-in.
+type DeflateCodec struct{}
+
+// Name implements codec.Codec.
+func (DeflateCodec) Name() string { return "deflate" }
+
+// Lossy implements codec.Codec.
+func (DeflateCodec) Lossy() bool { return false }
+
+// Compress implements codec.Codec.
+func (DeflateCodec) Compress(src []float32, dim int) ([]byte, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("lz4like: bad dim %d", dim)
+	}
+	var buf bytes.Buffer
+	head := make([]byte, 8)
+	binary.LittleEndian.PutUint32(head[0:], uint32(dim))
+	binary.LittleEndian.PutUint32(head[4:], uint32(len(src)))
+	buf.Write(head)
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(toBytes(src)); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements codec.Codec.
+func (DeflateCodec) Decompress(frame []byte) ([]float32, int, error) {
+	if len(frame) < 8 {
+		return nil, 0, errCorrupt
+	}
+	dim := int(binary.LittleEndian.Uint32(frame[0:]))
+	n := int(binary.LittleEndian.Uint32(frame[4:]))
+	r := flate.NewReader(bytes.NewReader(frame[8:]))
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	vals, err := fromBytes(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vals) != n || dim <= 0 {
+		return nil, 0, errCorrupt
+	}
+	return vals, dim, nil
+}

@@ -1,0 +1,169 @@
+package lz4like
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/tensor"
+)
+
+func byteRoundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	enc := CompressBytes(src)
+	dec, err := DecompressBytes(enc)
+	if err != nil {
+		t.Fatalf("DecompressBytes: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: got %d bytes want %d", len(dec), len(src))
+	}
+	return enc
+}
+
+func TestBytesEmpty(t *testing.T) { byteRoundTrip(t, nil) }
+
+func TestBytesShort(t *testing.T) { byteRoundTrip(t, []byte{1, 2, 3}) }
+
+func TestBytesRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 500)
+	enc := byteRoundTrip(t, src)
+	if len(enc) > len(src)/10 {
+		t.Fatalf("repetitive data should compress 10x+: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestBytesOverlappingMatch(t *testing.T) {
+	// RLE-style runs exercise overlapping copies (dist < len).
+	src := bytes.Repeat([]byte{0xAA}, 1000)
+	byteRoundTrip(t, src)
+}
+
+func TestBytesRandomIncompressible(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(rng.Uint64())
+	}
+	enc := byteRoundTrip(t, src)
+	// Should not inflate by more than the token framing overhead.
+	if len(enc) > len(src)+len(src)/8+16 {
+		t.Fatalf("random data inflated too much: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestBytesWindowLimit(t *testing.T) {
+	// A repeat farther back than Window bytes must not be matched;
+	// correctness must still hold.
+	pattern := make([]byte, 64)
+	for i := range pattern {
+		pattern[i] = byte(i * 7)
+	}
+	rng := tensor.NewRNG(2)
+	filler := make([]byte, Window+100)
+	for i := range filler {
+		filler[i] = byte(rng.Uint64())
+	}
+	src := append(append(append([]byte{}, pattern...), filler...), pattern...)
+	byteRoundTrip(t, src)
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		enc := CompressBytes(src)
+		dec, err := DecompressBytes(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	if _, err := DecompressBytes([]byte{9}); err == nil {
+		t.Fatal("unknown token should error")
+	}
+	if _, err := DecompressBytes([]byte{1, 10, 5}); err == nil {
+		t.Fatal("match before start should error")
+	}
+	if _, err := DecompressBytes([]byte{0, 200, 1}); err == nil {
+		t.Fatal("truncated literal run should error")
+	}
+}
+
+func TestLZSSCodecRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	// Batch with repeated rows (compressible) — byte-level LZ should find
+	// the aligned whole-row repeats when they are adjacent.
+	dim := 16
+	row := make([]float32, dim)
+	rng.FillNormal(row, 0, 1)
+	var src []float32
+	for r := 0; r < 128; r++ {
+		src = append(src, row...)
+	}
+	recon, ratio, err := codec.RoundTrip(LZSSCodec{}, src, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if recon[i] != src[i] {
+			t.Fatal("lossless codec changed data")
+		}
+	}
+	if ratio < 5 {
+		t.Fatalf("identical rows should compress well, got %.2f", ratio)
+	}
+}
+
+func TestLZSSLowRatioOnRandomFloats(t *testing.T) {
+	// The paper's point: raw float mantissas defeat byte-level LZ.
+	rng := tensor.NewRNG(4)
+	src := make([]float32, 4096)
+	rng.FillNormal(src, 0, 1)
+	frame, err := (LZSSCodec{}).Compress(src, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := codec.Ratio(len(src), frame); r > 1.5 {
+		t.Fatalf("random floats should barely compress, got %.2f", r)
+	}
+}
+
+func TestDeflateCodecRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	src := make([]float32, 1024)
+	rng.FillNormal(src, 0, 1)
+	recon, _, err := codec.RoundTrip(DeflateCodec{}, src, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if recon[i] != src[i] {
+			t.Fatal("deflate is lossless; data changed")
+		}
+	}
+}
+
+func TestCodecNames(t *testing.T) {
+	if (LZSSCodec{}).Name() != "lz4-like" || (LZSSCodec{}).Lossy() {
+		t.Fatal("LZSS metadata wrong")
+	}
+	if (DeflateCodec{}).Name() != "deflate" || (DeflateCodec{}).Lossy() {
+		t.Fatal("Deflate metadata wrong")
+	}
+}
+
+func BenchmarkCompressBytes64K(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	src := make([]byte, 1<<16)
+	for i := range src {
+		src[i] = byte(rng.Intn(16)) // mildly compressible
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CompressBytes(src)
+	}
+}

@@ -1,0 +1,120 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllToAllTimeScalesWithBytes(t *testing.T) {
+	n := Slingshot10()
+	t1 := n.UniformAllToAllTime(32, 1<<20)
+	t2 := n.UniformAllToAllTime(32, 1<<24)
+	if t2 <= t1 {
+		t.Fatal("more bytes must take longer")
+	}
+	// 16 MB at 4 GB/s ≈ 4 ms wire time.
+	want := 4 * time.Millisecond
+	if t2 < want || t2 > want+time.Millisecond {
+		t.Fatalf("16MB all-to-all = %v, want ≈ %v", t2, want)
+	}
+}
+
+func TestAllToAllBottleneckRank(t *testing.T) {
+	n := Network{AllToAllBandwidth: 1e9, Latency: 0}
+	uneven := n.AllToAllTime(4, []int64{100, 100, 100, 1e9})
+	even := n.AllToAllTime(4, []int64{1e9, 1e9, 1e9, 1e9})
+	if uneven != even {
+		t.Fatal("all-to-all completes with the busiest rank")
+	}
+}
+
+func TestAllToAllDegenerate(t *testing.T) {
+	n := Slingshot10()
+	if n.UniformAllToAllTime(1, 1<<30) != 0 {
+		t.Fatal("single rank needs no communication")
+	}
+}
+
+func TestAllToAllPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Slingshot10().AllToAllTime(4, []int64{1, 2})
+}
+
+func TestAllReduceTime(t *testing.T) {
+	n := Network{AllReduceBandwidth: 1e9, Latency: 0}
+	// 2*(N-1)/N * bytes / BW; N=2 -> 1x bytes (plus 2 log2-latency, 0 here).
+	got := n.AllReduceTime(2, 1e9)
+	if got != time.Second+2*n.Latency {
+		t.Fatalf("allreduce = %v, want 1s", got)
+	}
+	if n.AllReduceTime(1, 1e9) != 0 {
+		t.Fatal("single rank allreduce is free")
+	}
+	// Larger clusters approach 2x bytes.
+	if n.AllReduceTime(32, 1e9) <= got {
+		t.Fatal("allreduce cost grows with rank count")
+	}
+}
+
+func TestLatencyDominatesSmallMessages(t *testing.T) {
+	n := Slingshot10()
+	tiny := n.UniformAllToAllTime(32, 8)
+	// Parallel posting: floor = (1 + ceil(log2 32)) latencies.
+	if tiny < 6*n.Latency {
+		t.Fatalf("latency floor missing: %v", tiny)
+	}
+	if tiny > 10*n.Latency {
+		t.Fatalf("latency floor should be logarithmic, got %v", tiny)
+	}
+}
+
+func TestMetadataTime(t *testing.T) {
+	n := Slingshot10()
+	if n.MetadataTime(1, 8) != 0 {
+		t.Fatal("single rank needs no metadata")
+	}
+	if n.MetadataTime(32, 8) < n.Latency {
+		t.Fatal("metadata costs at least one latency")
+	}
+}
+
+func TestDeviceTimes(t *testing.T) {
+	d := A100()
+	if d.MLPTime(100e12) != time.Second {
+		t.Fatalf("MLPTime = %v", d.MLPTime(100e12))
+	}
+	if d.LookupTime(1.3e12) != time.Second {
+		t.Fatalf("LookupTime = %v", d.LookupTime(1.3e12))
+	}
+}
+
+func TestCodecTime(t *testing.T) {
+	if CodecTime(40e9, 40e9) != time.Second {
+		t.Fatal("CodecTime wrong")
+	}
+	if CodecTime(100, 0) != 0 {
+		t.Fatal("zero rate must be free (treated as no codec)")
+	}
+}
+
+func TestPaperCodecRatesComplete(t *testing.T) {
+	rates := PaperCodecRates()
+	for _, name := range []string{"ours-vector", "ours-huffman", "ours-hybrid",
+		"lz4-like", "deflate", "fz-gpu-like", "cusz-like", "fp16", "fp8-e4m3"} {
+		r, ok := rates[name]
+		if !ok {
+			t.Fatalf("missing rates for %s", name)
+		}
+		if r.Compress <= 0 || r.Decompress <= 0 {
+			t.Fatalf("non-positive rates for %s", name)
+		}
+	}
+	// The paper's headline numbers survive verbatim.
+	if rates["ours-vector"].Compress != 40.5e9 || rates["ours-vector"].Decompress != 205.4e9 {
+		t.Fatal("ours-vector rates drifted from the paper")
+	}
+}

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"sort"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// AUC computes the area under the ROC curve for binary labels against raw
+// logits (higher logit = more positive). Ties are handled by assigning the
+// average rank, the standard Mann–Whitney formulation. Returns 0.5 for
+// degenerate inputs (single-class labels).
+func AUC(logits *tensor.Matrix, labels []float32) float64 {
+	n := logits.Rows
+	if n == 0 || n != len(labels) {
+		return 0.5
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return logits.Data[idx[a]] < logits.Data[idx[b]] })
+
+	// Average ranks over tie groups.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && logits.Data[idx[j]] == logits.Data[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	var posRankSum float64
+	var pos int
+	for i, y := range labels {
+		if y == 1 {
+			posRankSum += ranks[i]
+			pos++
+		}
+	}
+	neg := n - pos
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (posRankSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+}

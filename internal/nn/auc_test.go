@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dlrmcomp/internal/tensor"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	logits := tensor.FromSlice(4, 1, []float32{-2, -1, 1, 2})
+	if auc := AUC(logits, []float32{0, 0, 1, 1}); auc != 1 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+	if auc := AUC(logits, []float32{1, 1, 0, 0}); auc != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCChance(t *testing.T) {
+	// Identical scores -> ties -> 0.5.
+	logits := tensor.FromSlice(4, 1, []float32{1, 1, 1, 1})
+	if auc := AUC(logits, []float32{0, 1, 0, 1}); auc != 0.5 {
+		t.Fatalf("AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	logits := tensor.FromSlice(2, 1, []float32{1, 2})
+	if AUC(logits, []float32{1, 1}) != 0.5 {
+		t.Fatal("single-class labels should give 0.5")
+	}
+	if AUC(tensor.NewMatrix(0, 1), nil) != 0.5 {
+		t.Fatal("empty input should give 0.5")
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// scores: pos {3, 1}, neg {2, 0}: pairs (3>2, 3>0, 1<2, 1>0) -> 3/4.
+	logits := tensor.FromSlice(4, 1, []float32{3, 2, 1, 0})
+	labels := []float32{1, 0, 1, 0}
+	if auc := AUC(logits, labels); math.Abs(auc-0.75) > 1e-9 {
+		t.Fatalf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCMatchesBruteForce(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	n := 200
+	logits := tensor.NewMatrix(n, 1)
+	rng.FillNormal(logits.Data, 0, 1)
+	labels := make([]float32, n)
+	for i := range labels {
+		if rng.Float64() < 0.3 {
+			labels[i] = 1
+		}
+	}
+	// Brute force Mann-Whitney.
+	var wins, ties, pairs float64
+	for i := 0; i < n; i++ {
+		if labels[i] != 1 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if labels[j] != 0 {
+				continue
+			}
+			pairs++
+			switch {
+			case logits.Data[i] > logits.Data[j]:
+				wins++
+			case logits.Data[i] == logits.Data[j]:
+				ties++
+			}
+		}
+	}
+	want := (wins + ties/2) / pairs
+	if got := AUC(logits, labels); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AUC = %v, brute force %v", got, want)
+	}
+}

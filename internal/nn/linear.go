@@ -1,0 +1,93 @@
+// Package nn implements the neural-network substrate for DLRM: fully
+// connected layers, activations, multi-layer perceptrons, the binary
+// cross-entropy training criterion, and the SGD/Adagrad optimizers used by
+// the open-source DLRM reference implementation.
+//
+// All layers follow the same contract: Forward consumes a batch (rows =
+// samples) and caches whatever it needs; Backward consumes dL/d(output) and
+// returns dL/d(input) while accumulating parameter gradients, which the
+// optimizer then applies in Step.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = x @ Wᵀ + b with
+// W of shape [out, in].
+type Linear struct {
+	In, Out int
+	W       *tensor.Matrix // [Out, In]
+	B       []float32      // [Out]
+
+	GradW *tensor.Matrix
+	GradB []float32
+
+	x *tensor.Matrix // cached input for backward
+}
+
+// NewLinear constructs a layer with He-uniform initialized weights, the
+// scheme used by the DLRM reference code for ReLU MLPs.
+func NewLinear(in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:    in,
+		Out:   out,
+		W:     tensor.NewMatrix(out, in),
+		B:     make([]float32, out),
+		GradW: tensor.NewMatrix(out, in),
+		GradB: make([]float32, out),
+	}
+	limit := float32(math.Sqrt(6.0 / float64(in+out)))
+	rng.FillUniform(l.W.Data, -limit, limit)
+	rng.FillUniform(l.B, -limit, limit)
+	return l
+}
+
+// Forward computes the affine transform for a batch x of shape [n, In].
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear expects %d inputs, got %d", l.In, x.Cols))
+	}
+	l.x = x
+	y := tensor.NewMatrix(x.Rows, l.Out)
+	tensor.MatMulTransB(y, x, l.W)
+	tensor.AddRowVec(y, l.B)
+	return y
+}
+
+// Backward accumulates parameter gradients from dY (shape [n, Out]) and
+// returns dX (shape [n, In]).
+func (l *Linear) Backward(dY *tensor.Matrix) *tensor.Matrix {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	// GradW += dYᵀ @ x ; GradB += colsums(dY) ; dX = dY @ W
+	gw := tensor.NewMatrix(l.Out, l.In)
+	tensor.MatMulTransA(gw, dY, l.x)
+	tensor.Axpy(1, gw.Data, l.GradW.Data)
+	gb := make([]float32, l.Out)
+	tensor.ColSums(gb, dY)
+	tensor.Axpy(1, gb, l.GradB)
+	dX := tensor.NewMatrix(dY.Rows, l.In)
+	tensor.MatMul(dX, dY, l.W)
+	return dX
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *Linear) ZeroGrad() {
+	l.GradW.Zero()
+	for i := range l.GradB {
+		l.GradB[i] = 0
+	}
+}
+
+// Params returns the parameter and gradient slices for the optimizer.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Value: l.W.Data, Grad: l.GradW.Data},
+		{Value: l.B, Grad: l.GradB},
+	}
+}

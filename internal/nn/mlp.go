@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"dlrmcomp/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward applies max(0, x) elementwise, returning a new matrix.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradient where the activation was clamped.
+func (r *ReLU) Backward(dY *tensor.Matrix) *tensor.Matrix {
+	dX := dY.Clone()
+	for i := range dX.Data {
+		if !r.mask[i] {
+			dX.Data[i] = 0
+		}
+	}
+	return dX
+}
+
+// Sigmoid computes the logistic function elementwise.
+func Sigmoid(x float32) float32 {
+	return float32(1.0 / (1.0 + mathExp(-float64(x))))
+}
+
+func mathExp(x float64) float64 {
+	// Clamp to avoid overflow in exp; sigmoid saturates well before ±40.
+	if x > 40 {
+		x = 40
+	} else if x < -40 {
+		x = -40
+	}
+	return expImpl(x)
+}
+
+// MLP is a stack of Linear layers with ReLU between them. If SigmoidTop is
+// true the final layer output is passed through a sigmoid (used by the DLRM
+// top MLP to produce a CTR probability).
+type MLP struct {
+	Layers []*Linear
+	relus  []*ReLU
+
+	// SigmoidTop applies a sigmoid after the last layer. Backward then
+	// expects dL/d(prob) already folded: for BCE loss use BCEWithLogits and
+	// keep SigmoidTop false; SigmoidTop exists for inference-style use.
+	SigmoidTop bool
+
+	lastOut *tensor.Matrix
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. {13, 512, 256, 64}
+// creates three Linear layers.
+func NewMLP(sizes []int, rng *tensor.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(sizes[i], sizes[i+1], rng))
+		m.relus = append(m.relus, &ReLU{})
+	}
+	return m
+}
+
+// Forward runs the batch through every layer. ReLU is applied after every
+// layer except the last (matching the DLRM reference bottom/top MLPs, whose
+// hidden layers are ReLU and whose last bottom-layer output is also ReLU).
+func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Forward(h)
+		if i < len(m.Layers)-1 {
+			h = m.relus[i].Forward(h)
+		}
+	}
+	if m.SigmoidTop {
+		h = h.Clone()
+		for i, v := range h.Data {
+			h.Data[i] = Sigmoid(v)
+		}
+	}
+	m.lastOut = h
+	return h
+}
+
+// Backward propagates dY through the stack and returns dX.
+func (m *MLP) Backward(dY *tensor.Matrix) *tensor.Matrix {
+	d := dY
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if i < len(m.Layers)-1 {
+			d = m.relus[i].Backward(d)
+		}
+		d = m.Layers[i].Backward(d)
+	}
+	return d
+}
+
+// ZeroGrad clears gradients in all layers.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns all layer parameters in order.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Value)
+	}
+	return n
+}

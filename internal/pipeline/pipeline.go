@@ -1,0 +1,183 @@
+// Package pipeline implements the compression/communication overlap the
+// paper lists as future work (§VI, citing Ramesh et al.'s pipelined
+// communication schemes): instead of compress-everything → send-everything →
+// decompress-everything, the payload is split into chunks that stream
+// through a three-stage pipeline (compress | transmit | decompress), so the
+// codec and the wire work concurrently.
+//
+// The package provides both the analytic pipeline model (for the cost
+// studies) and a real streaming implementation over any codec, with the
+// stages running in separate goroutines connected by channels.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"dlrmcomp/internal/buffopt"
+	"dlrmcomp/internal/codec"
+)
+
+// --- analytic model ----------------------------------------------------------
+
+// StageTimes are the per-chunk costs of the three stages.
+type StageTimes struct {
+	Compress   time.Duration
+	Transmit   time.Duration
+	Decompress time.Duration
+}
+
+func (s StageTimes) total() time.Duration { return s.Compress + s.Transmit + s.Decompress }
+
+func (s StageTimes) max() time.Duration {
+	m := s.Compress
+	if s.Transmit > m {
+		m = s.Transmit
+	}
+	if s.Decompress > m {
+		m = s.Decompress
+	}
+	return m
+}
+
+// SerialTime is the unpipelined cost of k chunks: every stage processes the
+// whole payload before the next starts.
+func SerialTime(per StageTimes, k int) time.Duration {
+	if k <= 0 {
+		return 0
+	}
+	return time.Duration(k) * per.total()
+}
+
+// PipelinedTime is the classic k-chunk, 3-stage pipeline makespan:
+// fill the pipe once, then the bottleneck stage paces the remaining chunks.
+func PipelinedTime(per StageTimes, k int) time.Duration {
+	if k <= 0 {
+		return 0
+	}
+	return per.total() + time.Duration(k-1)*per.max()
+}
+
+// Speedup is SerialTime / PipelinedTime.
+func Speedup(per StageTimes, k int) float64 {
+	p := PipelinedTime(per, k)
+	if p == 0 {
+		return 1
+	}
+	return float64(SerialTime(per, k)) / float64(p)
+}
+
+// OptimalChunks returns the chunk count in [1, maxChunks] minimizing the
+// modelled makespan when chunking adds perChunkOverhead to every stage
+// (smaller chunks pipeline better but pay more launch/header overhead).
+func OptimalChunks(total StageTimes, perChunkOverhead time.Duration, maxChunks int) int {
+	best, bestT := 1, time.Duration(1<<62)
+	for k := 1; k <= maxChunks; k++ {
+		per := StageTimes{
+			Compress:   total.Compress/time.Duration(k) + perChunkOverhead,
+			Transmit:   total.Transmit/time.Duration(k) + perChunkOverhead,
+			Decompress: total.Decompress/time.Duration(k) + perChunkOverhead,
+		}
+		if t := PipelinedTime(per, k); t < bestT {
+			best, bestT = k, t
+		}
+	}
+	return best
+}
+
+// --- real streaming implementation -------------------------------------------
+
+// Stats reports what a streaming exchange did.
+type Stats struct {
+	Chunks    int
+	RawBytes  int64
+	WireBytes int64
+	Wall      time.Duration
+}
+
+// Ratio returns the achieved compression ratio.
+func (s Stats) Ratio() float64 {
+	if s.WireBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.WireBytes)
+}
+
+// StreamExchange pushes every chunk through compress → channel (the wire) →
+// decompress, with the producer and consumer running concurrently. The
+// returned chunks are in order.
+func StreamExchange(c codec.Codec, chunks []buffopt.Chunk) ([]buffopt.Chunk, Stats, error) {
+	start := time.Now()
+	type frame struct {
+		idx  int
+		data []byte
+	}
+	wire := make(chan frame, 1) // depth-1: transmit buffer
+	errc := make(chan error, 1)
+
+	var rawBytes, wireBytes int64
+	go func() {
+		defer close(wire)
+		for i, ch := range chunks {
+			f, err := c.Compress(ch.Vals, ch.Dim)
+			if err != nil {
+				errc <- fmt.Errorf("pipeline: chunk %d: %w", i, err)
+				return
+			}
+			rawBytes += int64(len(ch.Vals) * 4)
+			wireBytes += int64(len(f))
+			wire <- frame{idx: i, data: f}
+		}
+		errc <- nil
+	}()
+
+	out := make([]buffopt.Chunk, len(chunks))
+	for f := range wire {
+		vals, dim, err := c.Decompress(f.data)
+		if err != nil {
+			<-errc // drain producer status
+			return nil, Stats{}, fmt.Errorf("pipeline: decode chunk %d: %w", f.idx, err)
+		}
+		out[f.idx] = buffopt.Chunk{Vals: vals, Dim: dim}
+	}
+	if err := <-errc; err != nil {
+		return nil, Stats{}, err
+	}
+	return out, Stats{
+		Chunks:    len(chunks),
+		RawBytes:  rawBytes,
+		WireBytes: wireBytes,
+		Wall:      time.Since(start),
+	}, nil
+}
+
+// SerialExchange is the unpipelined reference: compress all, then decompress
+// all.
+func SerialExchange(c codec.Codec, chunks []buffopt.Chunk) ([]buffopt.Chunk, Stats, error) {
+	start := time.Now()
+	frames := make([][]byte, len(chunks))
+	var rawBytes, wireBytes int64
+	for i, ch := range chunks {
+		f, err := c.Compress(ch.Vals, ch.Dim)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("pipeline: chunk %d: %w", i, err)
+		}
+		frames[i] = f
+		rawBytes += int64(len(ch.Vals) * 4)
+		wireBytes += int64(len(f))
+	}
+	out := make([]buffopt.Chunk, len(chunks))
+	for i, f := range frames {
+		vals, dim, err := c.Decompress(f)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("pipeline: decode chunk %d: %w", i, err)
+		}
+		out[i] = buffopt.Chunk{Vals: vals, Dim: dim}
+	}
+	return out, Stats{
+		Chunks:    len(chunks),
+		RawBytes:  rawBytes,
+		WireBytes: wireBytes,
+		Wall:      time.Since(start),
+	}, nil
+}

@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"dlrmcomp/internal/buffopt"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/tensor"
+)
+
+func TestSerialAndPipelinedTimes(t *testing.T) {
+	per := StageTimes{Compress: 2 * time.Millisecond, Transmit: 3 * time.Millisecond, Decompress: time.Millisecond}
+	if SerialTime(per, 4) != 24*time.Millisecond {
+		t.Fatalf("serial = %v", SerialTime(per, 4))
+	}
+	// total 6ms + 3 more chunks paced by the 3ms bottleneck = 15ms.
+	if PipelinedTime(per, 4) != 15*time.Millisecond {
+		t.Fatalf("pipelined = %v", PipelinedTime(per, 4))
+	}
+	if SerialTime(per, 0) != 0 || PipelinedTime(per, 0) != 0 {
+		t.Fatal("zero chunks cost nothing")
+	}
+}
+
+func TestPipelineSpeedupBounds(t *testing.T) {
+	per := StageTimes{Compress: time.Millisecond, Transmit: time.Millisecond, Decompress: time.Millisecond}
+	// Perfectly balanced 3-stage pipeline approaches 3x for many chunks.
+	s := Speedup(per, 1000)
+	if s < 2.9 || s > 3.0 {
+		t.Fatalf("balanced speedup = %v, want ≈ 3", s)
+	}
+	if Speedup(per, 1) != 1 {
+		t.Fatalf("single chunk cannot pipeline: %v", Speedup(per, 1))
+	}
+}
+
+func TestPipelineBottleneckDominates(t *testing.T) {
+	per := StageTimes{Compress: time.Microsecond, Transmit: 10 * time.Millisecond, Decompress: time.Microsecond}
+	// One giant stage: speedup tends to total/max ≈ 1.
+	if s := Speedup(per, 100); s > 1.01 {
+		t.Fatalf("wire-bound pipeline cannot speed up: %v", s)
+	}
+}
+
+func TestOptimalChunksTradeoff(t *testing.T) {
+	total := StageTimes{Compress: 10 * time.Millisecond, Transmit: 10 * time.Millisecond, Decompress: 10 * time.Millisecond}
+	// With no overhead, more chunks is always better.
+	if k := OptimalChunks(total, 0, 64); k != 64 {
+		t.Fatalf("no-overhead optimum = %d, want 64", k)
+	}
+	// With heavy per-chunk overhead, chunking stops paying early.
+	if k := OptimalChunks(total, 5*time.Millisecond, 64); k >= 16 {
+		t.Fatalf("heavy-overhead optimum = %d, want small", k)
+	}
+}
+
+func makeChunks(seed uint64, n, rows, dim int) []buffopt.Chunk {
+	rng := tensor.NewRNG(seed)
+	chunks := make([]buffopt.Chunk, n)
+	for i := range chunks {
+		vals := make([]float32, rows*dim)
+		rng.FillNormal(vals, 0, 0.2)
+		chunks[i] = buffopt.Chunk{Vals: vals, Dim: dim}
+	}
+	return chunks
+}
+
+func TestStreamExchangeCorrectness(t *testing.T) {
+	c := hybrid.New(0.01, hybrid.Auto)
+	chunks := makeChunks(1, 8, 64, 16)
+	out, stats, err := StreamExchange(c, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Chunks != 8 || stats.Ratio() <= 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for i, ch := range out {
+		if ch.Dim != 16 || len(ch.Vals) != len(chunks[i].Vals) {
+			t.Fatalf("chunk %d shape", i)
+		}
+		for j := range ch.Vals {
+			d := ch.Vals[j] - chunks[i].Vals[j]
+			if d > 0.0101 || d < -0.0101 {
+				t.Fatalf("chunk %d error bound violated", i)
+			}
+		}
+	}
+}
+
+func TestStreamMatchesSerial(t *testing.T) {
+	c := hybrid.New(0.01, hybrid.Auto)
+	chunks := makeChunks(2, 5, 32, 8)
+	sOut, _, err := SerialExchange(c, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOut, _, err := StreamExchange(c, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sOut {
+		for j := range sOut[i].Vals {
+			if sOut[i].Vals[j] != pOut[i].Vals[j] {
+				t.Fatalf("stream and serial disagree at chunk %d idx %d", i, j)
+			}
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	c := hybrid.New(0.01, hybrid.Auto)
+	out, stats, err := StreamExchange(c, nil)
+	if err != nil || len(out) != 0 || stats.Chunks != 0 {
+		t.Fatalf("empty exchange: %v %v", err, stats)
+	}
+}
+
+func TestStreamPropagatesCompressError(t *testing.T) {
+	c := hybrid.New(0.01, hybrid.Auto)
+	bad := []buffopt.Chunk{{Vals: []float32{1, 2, 3}, Dim: 2}} // bad shape
+	if _, _, err := StreamExchange(c, bad); err == nil {
+		t.Fatal("expected error for bad chunk shape")
+	}
+	if _, _, err := SerialExchange(c, bad); err == nil {
+		t.Fatal("expected serial error for bad chunk shape")
+	}
+}
+
+func BenchmarkStreamVsSerial(b *testing.B) {
+	c := hybrid.New(0.01, hybrid.Auto)
+	chunks := makeChunks(3, 16, 512, 32)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SerialExchange(c, chunks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := StreamExchange(c, chunks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+// Package quant implements the error-bounded uniform quantization encoder
+// that is the first stage of the paper's hybrid lossy compressor (§III-D):
+// floating-point values are mapped to integer bin codes such that the
+// reconstruction error of every element is at most the error bound.
+//
+// code_i  = round(v_i / (2·eb))
+// recon_i = code_i · (2·eb)      ⇒ |v_i − recon_i| ≤ eb
+//
+// Codes are symmetric around zero; ZigZag mapping converts them to unsigned
+// symbols for the entropy stage.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer performs error-bounded linear quantization.
+type Quantizer struct {
+	// ErrorBound is the maximum tolerated absolute reconstruction error.
+	ErrorBound float32
+}
+
+// New returns a Quantizer with the given absolute error bound.
+func New(eb float32) Quantizer {
+	if eb <= 0 {
+		panic(fmt.Sprintf("quant: error bound must be positive, got %v", eb))
+	}
+	return Quantizer{ErrorBound: eb}
+}
+
+// Quantize writes the bin code of every src element into dst
+// (len(dst) == len(src)).
+func (q Quantizer) Quantize(dst []int32, src []float32) {
+	if len(dst) != len(src) {
+		panic("quant: Quantize length mismatch")
+	}
+	step := 2 * float64(q.ErrorBound)
+	for i, v := range src {
+		dst[i] = int32(math.Round(float64(v) / step))
+	}
+}
+
+// Dequantize reconstructs values from bin codes.
+func (q Quantizer) Dequantize(dst []float32, codes []int32) {
+	if len(dst) != len(codes) {
+		panic("quant: Dequantize length mismatch")
+	}
+	step := 2 * float64(q.ErrorBound)
+	for i, c := range codes {
+		dst[i] = float32(float64(c) * step)
+	}
+}
+
+// MaxError returns the largest absolute difference between orig and recon.
+func MaxError(orig, recon []float32) float32 {
+	if len(orig) != len(recon) {
+		panic("quant: MaxError length mismatch")
+	}
+	var m float32
+	for i, v := range orig {
+		d := v - recon[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ZigZag maps a signed code to an unsigned symbol: 0,-1,1,-2,2 → 0,1,2,3,4.
+// Small-magnitude codes (the common case for embedding data) get small
+// symbols, which keeps entropy tables compact.
+func ZigZag(v int32) uint32 {
+	return uint32((v << 1) ^ (v >> 31))
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint32) int32 {
+	return int32(u>>1) ^ -int32(u&1)
+}
+
+// ZigZagSlice maps codes to symbols in place semantics via a new slice.
+func ZigZagSlice(codes []int32) []uint32 {
+	out := make([]uint32, len(codes))
+	for i, c := range codes {
+		out[i] = ZigZag(c)
+	}
+	return out
+}
+
+// UnZigZagSlice inverts ZigZagSlice.
+func UnZigZagSlice(syms []uint32) []int32 {
+	out := make([]int32, len(syms))
+	for i, s := range syms {
+		out[i] = UnZigZag(s)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dlrmcomp/internal/tensor"
+)
+
+func TestRoundTripRespectsErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := make([]float32, 4096)
+	rng.FillNormal(src, 0, 1)
+	for _, eb := range []float32{0.001, 0.01, 0.05, 0.5} {
+		q := New(eb)
+		codes := make([]int32, len(src))
+		q.Quantize(codes, src)
+		recon := make([]float32, len(src))
+		q.Dequantize(recon, codes)
+		if e := MaxError(src, recon); e > eb*(1+1e-5) {
+			t.Fatalf("eb %v violated: max error %v", eb, e)
+		}
+	}
+}
+
+func TestQuantizeKnownValues(t *testing.T) {
+	q := New(0.5) // step = 1.0
+	src := []float32{0, 0.4, 0.6, -0.6, 1.5, -1.5}
+	codes := make([]int32, len(src))
+	q.Quantize(codes, src)
+	want := []int32{0, 0, 1, -1, 2, -2}
+	for i, w := range want {
+		if codes[i] != w {
+			t.Fatalf("codes[%d] = %d, want %d", i, codes[i], w)
+		}
+	}
+}
+
+func TestVectorHomogenization(t *testing.T) {
+	// Two vectors whose elements differ by less than the bin width must
+	// quantize to identical codes — the paper's Vector Homogenization.
+	q := New(0.05)
+	a := []float32{0.50, 0.30, -0.20}
+	b := []float32{0.52, 0.28, -0.21} // within 0.05 of a, same bins
+	ca := make([]int32, 3)
+	cb := make([]int32, 3)
+	q.Quantize(ca, a)
+	q.Quantize(cb, b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("vectors should homogenize: codes %v vs %v", ca, cb)
+		}
+	}
+}
+
+func TestLargerEBMergesMoreBins(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	src := make([]float32, 2048)
+	rng.FillNormal(src, 0, 1)
+	unique := func(eb float32) int {
+		q := New(eb)
+		codes := make([]int32, len(src))
+		q.Quantize(codes, src)
+		set := make(map[int32]bool)
+		for _, c := range codes {
+			set[c] = true
+		}
+		return len(set)
+	}
+	if unique(0.1) >= unique(0.001) {
+		t.Fatal("larger error bound must not increase unique code count")
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int32]uint32{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, 1 << 20: 1 << 21}
+	for v, w := range cases {
+		if got := ZigZag(v); got != w {
+			t.Fatalf("ZigZag(%d) = %d, want %d", v, got, w)
+		}
+		if back := UnZigZag(w); back != v {
+			t.Fatalf("UnZigZag(%d) = %d, want %d", w, back, v)
+		}
+	}
+}
+
+func TestZigZagRoundTripProperty(t *testing.T) {
+	f := func(v int32) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32, ebSel uint8) bool {
+		eb := []float32{0.001, 0.01, 0.02, 0.1}[int(ebSel)%4]
+		src := make([]float32, len(raw))
+		for i, r := range raw {
+			// Map to a bounded range to avoid float32 code overflow.
+			src[i] = (float32(r%20000) - 10000) / 1000.0
+		}
+		q := New(eb)
+		codes := make([]int32, len(src))
+		q.Quantize(codes, src)
+		recon := make([]float32, len(src))
+		q.Dequantize(recon, codes)
+		// Allow one float32 ulp at the max magnitude (10) beyond the bound.
+		return MaxError(src, recon) <= eb+2e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	codes := []int32{0, -1, 5, -100}
+	if got := UnZigZagSlice(ZigZagSlice(codes)); len(got) != len(codes) {
+		t.Fatal("length mismatch")
+	} else {
+		for i := range codes {
+			if got[i] != codes[i] {
+				t.Fatalf("round trip [%d] = %d", i, got[i])
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadEB(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for eb <= 0")
+		}
+	}()
+	New(0)
+}

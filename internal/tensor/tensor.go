@@ -1,0 +1,271 @@
+// Package tensor provides the dense float32 linear-algebra kernels that the
+// DLRM substrate is built on: row-major matrices, matrix products (including
+// transposed forms used by backpropagation), and elementwise vector helpers.
+//
+// The kernels are deliberately simple and allocation-conscious; the large
+// products used by MLP layers are parallelized across goroutines when the
+// work is big enough to amortize scheduling.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) in a Matrix without copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice len %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns the i-th row as a sub-slice (shared storage).
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Equal reports whether m and n have the same shape and elements within tol.
+func (m *Matrix) Equal(n *Matrix, tol float32) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if d := v - n.Data[i]; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelThreshold is the number of fused multiply-adds below which matmul
+// stays single-threaded.
+const parallelThreshold = 1 << 17
+
+// parallelRows splits [0, rows) into contiguous spans and runs fn on each
+// span concurrently.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes dst = a @ b where a is m×k and b is k×n. dst must be m×n
+// and is overwritten. Panics on shape mismatch.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := range di {
+				di[j] = 0
+			}
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*b.Cols : (p+1)*b.Cols]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		body(0, a.Rows)
+	} else {
+		parallelRows(a.Rows, body)
+	}
+}
+
+// MatMulTransB computes dst = a @ bᵀ where a is m×k and b is n×k.
+// dst must be m×n. This is the shape used by the backward pass for inputs.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shapes %dx%d @ (%dx%d)T -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				di[j] = s
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		body(0, a.Rows)
+	} else {
+		parallelRows(a.Rows, body)
+	}
+}
+
+// MatMulTransA computes dst = aᵀ @ b where a is k×m and b is k×n.
+// dst must be m×n. This is the shape used by the backward pass for weights.
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shapes (%dx%d)T @ %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for p := 0; p < a.Rows; p++ {
+		ap := a.Data[p*a.Cols : (p+1)*a.Cols]
+		bp := b.Data[p*b.Cols : (p+1)*b.Cols]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddRowVec adds vector v (len == m.Cols) to every row of m in place.
+func AddRowVec(m *Matrix, v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, bv := range v {
+			ri[j] += bv
+		}
+	}
+}
+
+// ColSums accumulates the column sums of m into dst (len == m.Cols).
+// dst is overwritten.
+func ColSums(dst []float32, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSums length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j, v := range ri {
+			dst[j] += v
+		}
+	}
+}
+
+// Axpy computes y += alpha*x elementwise for equal-length slices.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of equal-length slices.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute value in x (0 for empty x).
+func MaxAbs(x []float32) float32 {
+	var m float32
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float32) float32 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}

@@ -1,0 +1,349 @@
+// Package vlz implements the paper's vector-based LZ encoder (§III-D,
+// §III-E): an LZ-family compressor specialized for batches of embedding
+// vectors. Instead of scanning for repeating byte patterns of arbitrary
+// length, it exploits two DLRM-specific facts:
+//
+//   - the repeating unit is always exactly one embedding vector (the "fixed
+//     pattern length" optimization), so matching is whole-row-at-a-time and
+//     a failed first-element comparison skips the entire row;
+//   - unbalanced (Zipf-distributed) queries make identical rows recur within
+//     a batch, so a row-granular sliding window of the most recent rows
+//     (the "extended window size" optimization — 32 to 255 rows, i.e. far
+//     wider in bytes than a classic 4 KB LZ window) captures most repeats.
+//
+// The encoder consumes quantization-bin rows ([]int32 codes, row length =
+// embedding dim) and emits a token stream: match tokens carry a back-offset
+// in rows (with consecutive matches at the same offset run-length coded, so
+// a batch of identical vectors costs a handful of bytes); literal tokens
+// carry zigzag-varint coded bins.
+package vlz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dlrmcomp/internal/quant"
+)
+
+// DefaultWindow is the row-granular window the paper found best (Table VI).
+const DefaultWindow = 255
+
+var errCorrupt = errors.New("vlz: corrupt frame")
+
+// Encoder compresses batches of fixed-length integer vectors.
+type Encoder struct {
+	// Window is the number of most recent distinct rows searched for a
+	// match. The paper sweeps 32/64/128/255 (Table VI).
+	Window int
+}
+
+// New returns an Encoder with the given window (rows). window <= 0 selects
+// DefaultWindow.
+func New(window int) *Encoder {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Encoder{Window: window}
+}
+
+// Stats reports what the encoder did to one batch (drives Fig. 13 and the
+// homogenization analysis).
+type Stats struct {
+	Rows        int
+	Matched     int // rows emitted as match tokens
+	Literals    int // rows emitted literally
+	UniqueRows  int // distinct rows seen (literal count == unique within window reach)
+	PayloadSize int // encoded bytes
+}
+
+func hashRow(row []int32) uint64 {
+	// FNV-1a over the 4-byte little-endian representation of each code.
+	h := uint64(1469598103934665603)
+	for _, c := range row {
+		u := uint32(c)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(u >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func rowsEqual(a, b []int32) bool {
+	// Fixed-pattern-length fast path: reject on the first element.
+	if a[0] != b[0] {
+		return false
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode compresses codes (numRows × dim, row-major) into a self-contained
+// frame.
+func (e *Encoder) Encode(codes []int32, dim int) ([]byte, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vlz: dim must be positive, got %d", dim)
+	}
+	if len(codes)%dim != 0 {
+		return nil, fmt.Errorf("vlz: %d codes not divisible by dim %d", len(codes), dim)
+	}
+	numRows := len(codes) / dim
+
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(dim))
+	out = append(out, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(numRows))
+	out = append(out, tmp[:n]...)
+
+	// ring holds the last Window *literal* rows (start offsets into codes);
+	// index maps row hash -> positions in ring.
+	ring := make([]int, 0, e.Window)
+	index := make(map[uint64][]int)
+	evict := func() {
+		if len(ring) < e.Window {
+			return
+		}
+		// Drop the oldest literal row from ring and index.
+		oldStart := ring[0]
+		oldHash := hashRow(codes[oldStart : oldStart+dim])
+		lst := index[oldHash]
+		for i, p := range lst {
+			if p == 0 {
+				lst = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+		// All remaining ring positions shift down by one.
+		for h, l := range index {
+			for i := range l {
+				l[i]--
+			}
+			index[h] = l
+		}
+		if len(lst) == 0 {
+			delete(index, oldHash)
+		} else {
+			index[oldHash] = lst
+		}
+		ring = ring[1:]
+	}
+
+	// Pending run of match tokens at the same offset.
+	pendingOffset := -1
+	pendingCount := 0
+	flushRun := func() {
+		if pendingCount == 0 {
+			return
+		}
+		if pendingCount == 1 {
+			out = append(out, 1)
+			n = binary.PutUvarint(tmp[:], uint64(pendingOffset))
+			out = append(out, tmp[:n]...)
+		} else {
+			// Run token: 2, offset, count.
+			out = append(out, 2)
+			n = binary.PutUvarint(tmp[:], uint64(pendingOffset))
+			out = append(out, tmp[:n]...)
+			n = binary.PutUvarint(tmp[:], uint64(pendingCount))
+			out = append(out, tmp[:n]...)
+		}
+		pendingOffset, pendingCount = -1, 0
+	}
+
+	for r := 0; r < numRows; r++ {
+		row := codes[r*dim : (r+1)*dim]
+		h := hashRow(row)
+		matchPos := -1
+		for i := len(index[h]) - 1; i >= 0; i-- {
+			p := index[h][i]
+			cand := codes[ring[p] : ring[p]+dim]
+			if rowsEqual(row, cand) {
+				matchPos = p
+				break
+			}
+		}
+		if matchPos >= 0 {
+			// Back-offset in ring slots from newest (1 = newest literal).
+			// The window does not advance on matches, so consecutive
+			// matches of the same row share the offset and run-length code.
+			offset := len(ring) - matchPos
+			if offset == pendingOffset {
+				pendingCount++
+			} else {
+				flushRun()
+				pendingOffset, pendingCount = offset, 1
+			}
+			continue
+		}
+		flushRun()
+		// Literal token: 0, then zigzag varints of each code.
+		out = append(out, 0)
+		for _, c := range row {
+			n = binary.PutUvarint(tmp[:], uint64(quant.ZigZag(c)))
+			out = append(out, tmp[:n]...)
+		}
+		evict()
+		ring = append(ring, r*dim)
+		index[h] = append(index[h], len(ring)-1)
+	}
+	flushRun()
+	return out, nil
+}
+
+// EncodeStats runs Encode and also returns batch statistics.
+func (e *Encoder) EncodeStats(codes []int32, dim int) ([]byte, Stats, error) {
+	out, err := e.Encode(codes, dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := Stats{Rows: len(codes) / dim, PayloadSize: len(out)}
+	// Re-derive match/literal counts by a cheap scan of the token stream.
+	_, st.Matched, st.Literals, err = scanTokens(out)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	uniq := make(map[uint64]bool)
+	for r := 0; r < st.Rows; r++ {
+		uniq[hashRow(codes[r*dim:(r+1)*dim])] = true
+	}
+	st.UniqueRows = len(uniq)
+	return out, st, nil
+}
+
+func scanTokens(data []byte) (dim int, matched, literals int, err error) {
+	d, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, 0, errCorrupt
+	}
+	data = data[n:]
+	rows, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, 0, errCorrupt
+	}
+	data = data[n:]
+	for covered := uint64(0); covered < rows; {
+		if len(data) == 0 {
+			return 0, 0, 0, errCorrupt
+		}
+		tok := data[0]
+		data = data[1:]
+		switch tok {
+		case 1:
+			_, n := binary.Uvarint(data)
+			if n <= 0 {
+				return 0, 0, 0, errCorrupt
+			}
+			data = data[n:]
+			matched++
+			covered++
+		case 2:
+			_, n := binary.Uvarint(data)
+			if n <= 0 {
+				return 0, 0, 0, errCorrupt
+			}
+			data = data[n:]
+			cnt, n2 := binary.Uvarint(data)
+			if n2 <= 0 || cnt == 0 {
+				return 0, 0, 0, errCorrupt
+			}
+			data = data[n2:]
+			matched += int(cnt)
+			covered += cnt
+		case 0:
+			for j := uint64(0); j < d; j++ {
+				_, n := binary.Uvarint(data)
+				if n <= 0 {
+					return 0, 0, 0, errCorrupt
+				}
+				data = data[n:]
+			}
+			literals++
+			covered++
+		default:
+			return 0, 0, 0, errCorrupt
+		}
+	}
+	return int(d), matched, literals, nil
+}
+
+// Decode reconstructs the code rows from a frame produced by Encode.
+func Decode(data []byte) (codes []int32, dim int, err error) {
+	d64, n := binary.Uvarint(data)
+	if n <= 0 || d64 == 0 {
+		return nil, 0, errCorrupt
+	}
+	data = data[n:]
+	rows64, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, errCorrupt
+	}
+	data = data[n:]
+	dim = int(d64)
+	numRows := int(rows64)
+	codes = make([]int32, 0, numRows*dim)
+
+	var ring [][]int32 // decoded literal rows, oldest first
+	for r := 0; r < numRows; {
+		if len(data) == 0 {
+			return nil, 0, errCorrupt
+		}
+		tok := data[0]
+		data = data[1:]
+		switch tok {
+		case 1:
+			off64, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, 0, errCorrupt
+			}
+			data = data[n:]
+			off := int(off64)
+			if off <= 0 || off > len(ring) {
+				return nil, 0, errCorrupt
+			}
+			codes = append(codes, ring[len(ring)-off]...)
+			r++
+		case 2:
+			off64, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, 0, errCorrupt
+			}
+			data = data[n:]
+			cnt64, n2 := binary.Uvarint(data)
+			if n2 <= 0 || cnt64 == 0 {
+				return nil, 0, errCorrupt
+			}
+			data = data[n2:]
+			off := int(off64)
+			if off <= 0 || off > len(ring) || uint64(numRows-r) < cnt64 {
+				return nil, 0, errCorrupt
+			}
+			rowData := ring[len(ring)-off]
+			for k := uint64(0); k < cnt64; k++ {
+				codes = append(codes, rowData...)
+			}
+			r += int(cnt64)
+		case 0:
+			row := make([]int32, dim)
+			for j := 0; j < dim; j++ {
+				u, n := binary.Uvarint(data)
+				if n <= 0 {
+					return nil, 0, errCorrupt
+				}
+				data = data[n:]
+				row[j] = quant.UnZigZag(uint32(u))
+			}
+			ring = append(ring, row)
+			codes = append(codes, row...)
+			r++
+		default:
+			return nil, 0, errCorrupt
+		}
+	}
+	return codes, dim, nil
+}
