@@ -1,0 +1,3 @@
+module dlrmcomp
+
+go 1.24

@@ -1,0 +1,254 @@
+// Package dist implements the hybrid-parallel distributed DLRM trainer of
+// the paper (§II-B, §III) on the simulated multi-GPU runtime in
+// internal/cluster:
+//
+//   - embedding tables are model-parallel, sharded round-robin across ranks
+//     (table t lives on rank t mod R);
+//   - the bottom/top MLPs are data-parallel replicas whose gradients are
+//     averaged with an AllReduce every step;
+//   - each step performs the forward all-to-all that redistributes embedding
+//     lookups from table owners to the ranks holding the corresponding batch
+//     shard — the exchange the paper compresses — and the backward
+//     all-to-all that routes lookup gradients back to the owners.
+//
+// The training math is real (the same tensors a single-process model.DLRM
+// computes); only the clock is modelled. Collectives charge simulated time
+// through the netmodel α-β interconnect, and the trainer charges compute and
+// codec kernels to the buckets profileutil.Breakdown reads: "fwd-a2a",
+// "bwd-a2a", "allreduce", "mlp", "lookup", "other", "compress", and
+// "decompress".
+//
+// Compression plugs in per table via Options.CodecFor, and the dual-level
+// adaptive strategy via Options.Controller, which re-tunes every
+// error-bounded codec's bound at the start of each iteration.
+package dist
+
+import (
+	"fmt"
+	"reflect"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/cluster"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/interaction"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/nn"
+	"dlrmcomp/internal/tensor"
+)
+
+// Default learning rates, matching the single-process recipe the
+// experiment drivers use (SGD on the dense MLPs, scaled SGD on the sparse
+// embedding rows).
+const (
+	DefaultDenseLR float32 = 0.05
+	DefaultEmbLR   float32 = 0.3
+)
+
+// Options configures the distributed trainer.
+type Options struct {
+	// Ranks is the simulated GPU count.
+	Ranks int
+	// Model describes the DLRM instance replicated (MLPs) and sharded
+	// (embedding tables) across ranks.
+	Model model.Config
+	// Net is the interconnect model; the zero value means Slingshot10().
+	Net netmodel.Network
+	// Device models per-GPU compute; the zero value means A100().
+	Device netmodel.Device
+	// OtherComputeFactor charges an "other" bucket of this fraction of the
+	// MLP time per step, standing in for non-MLP compute (optimizer, data
+	// loading, feature interaction) so breakdown shares match Fig. 1.
+	OtherComputeFactor float64
+	// CodecFor, when non-nil, supplies the communication codec for each
+	// table's forward all-to-all traffic (nil return = that table is sent
+	// uncompressed). Return a distinct instance per table: instances are
+	// shared across rank goroutines, which is safe because Compress and
+	// Decompress are pure, but per-table error bounds mutate codec state.
+	CodecFor func(table int) codec.Codec
+	// Controller, when non-nil, drives per-table per-iteration error bounds
+	// (the dual-level adaptive strategy): before each step, every
+	// error-bounded codec gets SetErrorBound(Controller.EBAt(table, iter)).
+	Controller *adapt.Controller
+	// DenseLR is the SGD learning rate for the data-parallel MLPs
+	// (0 = DefaultDenseLR).
+	DenseLR float32
+	// EmbLR is the sparse-SGD learning rate for embedding rows
+	// (0 = DefaultEmbLR).
+	EmbLR float32
+}
+
+// replica is one rank's data-parallel model state: a DLRM whose MLPs are
+// private bit-identical copies (so replicas stay in lockstep under
+// all-reduced gradients) and whose embedding group is the shared,
+// model-parallel one — replicas only ever touch it through the lookups the
+// all-to-all delivers, via ForwardFromLookups/Backward.
+type replica struct {
+	m   *model.DLRM
+	opt nn.Optimizer
+}
+
+// Trainer runs hybrid-parallel DLRM training on a simulated cluster.
+type Trainer struct {
+	opts Options
+	cl   *cluster.Cluster
+
+	// tmpl holds the shared embedding tables (each stored once, owned by
+	// rank table%Ranks) and doubles as rank 0's MLP replica, so Evaluate
+	// can run a plain single-process forward over the trained weights.
+	tmpl     *model.DLRM
+	replicas []*replica
+
+	// per-table codecs and their calibrated kernel rates (nil if
+	// Options.CodecFor is nil). anyCodec reports whether at least one
+	// table compresses, making the all-to-all variable-size.
+	codecs   []codec.Codec
+	rates    []netmodel.CodecRates
+	anyCodec bool
+
+	numParams int // flattened dense-gradient length for the AllReduce
+	iter      int
+
+	// forward all-to-all volume accounting across all steps.
+	fwdRawBytes  int64
+	fwdCompBytes int64
+
+	// fwdHook, when set (tests only), observes each rank's reconstructed
+	// lookup shard right after the forward all-to-all: recon is the
+	// [shard, dim] matrix for table and indices the shard's global rows.
+	fwdHook func(rank, table int, recon *tensor.Matrix, indices []int32)
+}
+
+// NewTrainer validates opts, builds the template model, the per-rank MLP
+// replicas, and the per-table codecs, and returns the trainer.
+func NewTrainer(opts Options) (*Trainer, error) {
+	if opts.Ranks <= 0 {
+		return nil, fmt.Errorf("dist: Ranks must be positive, got %d", opts.Ranks)
+	}
+	if err := opts.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if (opts.Net == netmodel.Network{}) {
+		opts.Net = netmodel.Slingshot10()
+	}
+	if (opts.Device == netmodel.Device{}) {
+		opts.Device = netmodel.A100()
+	}
+	if opts.DenseLR == 0 {
+		opts.DenseLR = DefaultDenseLR
+	}
+	if opts.EmbLR == 0 {
+		opts.EmbLR = DefaultEmbLR
+	}
+	numTables := len(opts.Model.TableSizes)
+	if opts.Controller != nil {
+		if opts.CodecFor == nil {
+			return nil, fmt.Errorf("dist: Controller requires CodecFor (nothing to drive error bounds on)")
+		}
+		if opts.Controller.NumTables() != numTables {
+			return nil, fmt.Errorf("dist: controller covers %d tables, model has %d",
+				opts.Controller.NumTables(), numTables)
+		}
+	}
+
+	tmpl, err := model.New(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{opts: opts, cl: cluster.New(opts.Ranks, opts.Net), tmpl: tmpl}
+
+	if opts.CodecFor != nil {
+		paper := netmodel.PaperCodecRates()
+		// Conservative default for codecs the calibration table doesn't
+		// know about.
+		def := netmodel.CodecRates{Compress: 50e9, Decompress: 100e9}
+		t.codecs = make([]codec.Codec, numTables)
+		t.rates = make([]netmodel.CodecRates, numTables)
+		for tb := 0; tb < numTables; tb++ {
+			c := opts.CodecFor(tb)
+			t.codecs[tb] = c
+			if c == nil {
+				continue
+			}
+			t.anyCodec = true
+			if r, ok := paper[c.Name()]; ok {
+				t.rates[tb] = r
+			} else {
+				t.rates[tb] = def
+			}
+		}
+		if opts.Controller != nil {
+			// The controller tunes bounds per table; a shared ErrorBounded
+			// instance would silently leave every table at the last
+			// table's bound.
+			seen := make(map[uintptr]int)
+			for tb, c := range t.codecs {
+				if _, ok := c.(codec.ErrorBounded); !ok {
+					continue
+				}
+				v := reflect.ValueOf(c)
+				if v.Kind() != reflect.Pointer {
+					continue
+				}
+				if prev, dup := seen[v.Pointer()]; dup {
+					return nil, fmt.Errorf("dist: CodecFor returned the same error-bounded codec for tables %d and %d; the Controller needs a distinct instance per table", prev, tb)
+				}
+				seen[v.Pointer()] = tb
+			}
+		}
+	}
+
+	for r := 0; r < opts.Ranks; r++ {
+		rp := &replica{opt: &nn.SGD{LR: opts.DenseLR}}
+		if r == 0 {
+			rp.m = tmpl
+		} else {
+			rp.m = &model.DLRM{
+				Cfg:      opts.Model,
+				Bottom:   tmpl.Bottom.Clone(),
+				Emb:      tmpl.Emb, // shared: tables are model-parallel
+				Interact: interaction.NewDotInteraction(numTables, opts.Model.EmbeddingDim),
+				Top:      tmpl.Top.Clone(),
+			}
+		}
+		t.replicas = append(t.replicas, rp)
+	}
+	for _, p := range t.replicas[0].m.DenseParams() {
+		t.numParams += len(p.Value)
+	}
+	return t, nil
+}
+
+// owner returns the rank holding table tb's shard.
+func (t *Trainer) owner(tb int) int { return tb % t.opts.Ranks }
+
+// codecFor returns table tb's codec, or nil when running uncompressed.
+func (t *Trainer) codecFor(tb int) codec.Codec {
+	if t.codecs == nil {
+		return nil
+	}
+	return t.codecs[tb]
+}
+
+// Cluster exposes the simulated process group (for SimTimes breakdowns).
+func (t *Trainer) Cluster() *cluster.Cluster { return t.cl }
+
+// CompressionRatio returns uncompressed/compressed bytes of all forward
+// all-to-all traffic that went through a codec so far (1 when nothing has).
+func (t *Trainer) CompressionRatio() float64 {
+	if t.fwdCompBytes == 0 {
+		return 1
+	}
+	return float64(t.fwdRawBytes) / float64(t.fwdCompBytes)
+}
+
+// Evaluate computes accuracy and log-loss over a batch with a plain
+// (uncompressed, single-process) forward pass over the trained weights.
+// The data-parallel replicas are kept bit-identical by construction, so the
+// template's rank-0 MLPs together with the shared embedding tables are the
+// global model.
+func (t *Trainer) Evaluate(b *criteo.Batch) (acc, logloss float64) {
+	logits := t.tmpl.Forward(b.Dense, b.Indices)
+	return nn.Accuracy(logits, b.Labels), nn.LogLoss(logits, b.Labels)
+}

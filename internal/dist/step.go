@@ -1,0 +1,367 @@
+package dist
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dlrmcomp/internal/cluster"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/embedding"
+	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/nn"
+	"dlrmcomp/internal/tensor"
+)
+
+// shardBounds splits n samples into R contiguous shards; the first n%R
+// shards hold one extra sample.
+func shardBounds(n, ranks int) (start, count []int) {
+	start = make([]int, ranks)
+	count = make([]int, ranks)
+	base, rem := n/ranks, n%ranks
+	s := 0
+	for r := 0; r < ranks; r++ {
+		c := base
+		if r < rem {
+			c++
+		}
+		start[r], count[r] = s, c
+		s += c
+	}
+	return start, count
+}
+
+// shardRows copies rows [start, start+cnt) of m into a new matrix.
+func shardRows(m *tensor.Matrix, start, cnt int) *tensor.Matrix {
+	out := tensor.NewMatrix(cnt, m.Cols)
+	copy(out.Data, m.Data[start*m.Cols:(start+cnt)*m.Cols])
+	return out
+}
+
+// stepFlops models one rank's MLP forward+backward FLOPs for a shard of the
+// given size: each MAC costs 2 FLOPs forward and 4 backward (dW and dX),
+// plus the pairwise-dot feature interaction at the same 3x ratio.
+func (t *Trainer) stepFlops(samples int) float64 {
+	cfg := t.opts.Model
+	macs := 0
+	prev := cfg.DenseFeatures
+	for _, h := range append(append([]int{}, cfg.BottomMLP...), cfg.EmbeddingDim) {
+		macs += prev * h
+		prev = h
+	}
+	f := len(cfg.TableSizes) + 1
+	interIn := cfg.EmbeddingDim + f*(f-1)/2
+	prev = interIn
+	for _, h := range append(append([]int{}, cfg.TopMLP...), 1) {
+		macs += prev * h
+		prev = h
+	}
+	macs += f * (f - 1) / 2 * cfg.EmbeddingDim // interaction dots
+	return 6 * float64(macs) * float64(samples)
+}
+
+// Step runs one synchronous training iteration over the global batch:
+//
+//  1. owners gather each table's lookups and scatter them shard-wise through
+//     the (optionally compressed) forward all-to-all;
+//  2. every rank runs forward/backward over its batch shard on its MLP
+//     replica;
+//  3. lookup gradients return to the table owners through the backward
+//     all-to-all and are scattered into the sharded tables;
+//  4. dense MLP gradients are all-reduced and applied in lockstep.
+//
+// The returned loss is the global-batch mean BCE. With one rank and no
+// codec this reproduces model.DLRM.TrainStep bit-for-bit. If any rank
+// fails (e.g. a codec error), the step completes its collectives but
+// applies no parameter updates, so an errored Step leaves the model as it
+// was.
+func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
+	n := b.N()
+	ranks := t.opts.Ranks
+	numTables := len(t.opts.Model.TableSizes)
+	dim := t.opts.Model.EmbeddingDim
+	if n == 0 {
+		return 0, fmt.Errorf("dist: empty batch")
+	}
+	if len(b.Indices) != numTables {
+		return 0, fmt.Errorf("dist: batch has %d index slices for %d tables", len(b.Indices), numTables)
+	}
+	for tb, idx := range b.Indices {
+		if len(idx) != n {
+			return 0, fmt.Errorf("dist: table %d has %d indices for %d samples", tb, len(idx), n)
+		}
+	}
+	iter := t.iter
+	t.iter++
+
+	// Iteration-wise adaptive error bounds: tune sequentially before the
+	// rank fan-out so codec state is only read concurrently.
+	if t.opts.Controller != nil {
+		for tb, c := range t.codecs {
+			if eb, ok := c.(codec.ErrorBounded); ok {
+				eb.SetErrorBound(t.opts.Controller.EBAt(tb, iter))
+			}
+		}
+	}
+
+	start, count := shardBounds(n, ranks)
+	losses := make([]float32, ranks)
+	errs := make([]error, ranks)
+	// failed lets every rank see that some rank errored, so the step can
+	// finish its collectives (keeping the barriers aligned) without
+	// applying any update — an errored Step leaves the model untouched.
+	var failed atomic.Bool
+	compDur := make([]time.Duration, ranks)
+	decompDur := make([]time.Duration, ranks)
+	lookupBytes := make([]int64, ranks)
+	fwdRaw := make([]int64, ranks)
+	fwdComp := make([]int64, ranks)
+
+	t.cl.Run(func(rank *cluster.Rank) {
+		r := rank.ID
+		fail := func(err error) {
+			if errs[r] == nil {
+				errs[r] = err
+			}
+			failed.Store(true)
+		}
+
+		// --- stage 1: owners gather lookups, compress, fuse, exchange ---
+		cnt := count[r]
+		lookups := make([]*tensor.Matrix, numTables)
+		send := make([][]byte, ranks)
+		for tb := 0; tb < numTables; tb++ {
+			if t.owner(tb) != r {
+				continue
+			}
+			tab := t.tmpl.Emb.Tables[tb]
+			lookupBytes[r] += int64(n) * int64(dim) * 4
+			for dst := 0; dst < ranks; dst++ {
+				if count[dst] == 0 {
+					continue
+				}
+				idx := b.Indices[tb][start[dst] : start[dst]+count[dst]]
+				chunk := tab.Lookup(idx)
+				if dst == r {
+					// The local shard never crosses the wire (and is never
+					// compressed): hand the matrix over directly.
+					lookups[tb] = chunk
+					continue
+				}
+				c := t.codecFor(tb)
+				if c == nil {
+					send[dst] = appendFrame(send[dst], tb, encRaw, floatsToBytes(chunk.Data))
+					continue
+				}
+				frame, err := c.Compress(chunk.Data, dim)
+				if err != nil {
+					// Record the failure but keep the exchange aligned by
+					// falling back to the raw payload.
+					fail(fmt.Errorf("dist: rank %d table %d compress: %w", r, tb, err))
+					send[dst] = appendFrame(send[dst], tb, encRaw, floatsToBytes(chunk.Data))
+					continue
+				}
+				raw := int64(len(chunk.Data)) * 4
+				compDur[r] += netmodel.CodecTime(raw, t.rates[tb].Compress)
+				fwdRaw[r] += raw
+				fwdComp[r] += int64(len(frame))
+				send[dst] = appendFrame(send[dst], tb, encCodec, frame)
+			}
+		}
+		recv := rank.AllToAll(send, t.anyCodec, "fwd-a2a")
+
+		// --- stage 2: reconstruct the local shard's lookups ---
+		for from := 0; from < ranks; from++ {
+			err := parseFrames(recv[from], func(tb int, enc byte, payload []byte) error {
+				if tb < 0 || tb >= numTables {
+					return fmt.Errorf("dist: frame for unknown table %d", tb)
+				}
+				m := tensor.NewMatrix(cnt, dim)
+				switch enc {
+				case encRaw:
+					if err := bytesToFloats(m.Data, payload); err != nil {
+						return err
+					}
+				case encCodec:
+					vals, gotDim, err := t.codecFor(tb).Decompress(payload)
+					if err != nil {
+						return fmt.Errorf("dist: table %d decompress: %w", tb, err)
+					}
+					if gotDim != dim || len(vals) != cnt*dim {
+						return fmt.Errorf("dist: table %d reconstruction is %dx%d, want %dx%d",
+							tb, len(vals)/max(gotDim, 1), gotDim, cnt, dim)
+					}
+					copy(m.Data, vals)
+					decompDur[r] += netmodel.CodecTime(int64(len(vals))*4, t.rates[tb].Decompress)
+				default:
+					return fmt.Errorf("dist: unknown frame encoding %d", enc)
+				}
+				lookups[tb] = m
+				return nil
+			})
+			if err != nil {
+				fail(err)
+			}
+		}
+		if cnt > 0 && errs[r] == nil {
+			for tb := range lookups {
+				if lookups[tb] == nil {
+					fail(fmt.Errorf("dist: rank %d received no lookups for table %d", r, tb))
+					break
+				}
+			}
+		}
+
+		// --- stage 3: local forward/backward on the shard ---
+		var dLookups []*tensor.Matrix
+		rp := t.replicas[r]
+		rp.m.ZeroGrad() // ranks without samples contribute zero gradients
+		if cnt > 0 && errs[r] == nil {
+			if t.fwdHook != nil {
+				for tb := 0; tb < numTables; tb++ {
+					t.fwdHook(r, tb, lookups[tb], b.Indices[tb][start[r]:start[r]+cnt])
+				}
+			}
+			dense := shardRows(b.Dense, start[r], cnt)
+			labels := b.Labels[start[r] : start[r]+cnt]
+			logits := rp.m.ForwardFromLookups(dense, lookups)
+			loss, dLogits := nn.BCEWithLogits(logits, labels)
+			losses[r] = loss
+			// BCEWithLogits divides by the shard size; rescale so the
+			// summed gradients equal the global-batch mean.
+			if cnt != n {
+				tensor.Scale(float32(cnt)/float32(n), dLogits.Data)
+			}
+			dLookups = rp.m.Backward(dLogits)
+		}
+
+		// --- stage 4: backward all-to-all routes lookup grads to owners ---
+		send2 := make([][]byte, ranks)
+		if dLookups != nil {
+			for tb := 0; tb < numTables; tb++ {
+				dst := t.owner(tb)
+				send2[dst] = appendFrame(send2[dst], tb, encRaw, floatsToBytes(dLookups[tb].Data))
+			}
+		}
+		recv2 := rank.AllToAll(send2, false, "bwd-a2a")
+
+		grads := make(map[int]*tensor.Matrix) // owned table -> [n, dim]
+		for from := 0; from < ranks; from++ {
+			err := parseFrames(recv2[from], func(tb int, enc byte, payload []byte) error {
+				if tb < 0 || tb >= numTables || t.owner(tb) != r || enc != encRaw {
+					return fmt.Errorf("dist: bad gradient frame (table %d, enc %d) at rank %d", tb, enc, r)
+				}
+				g, ok := grads[tb]
+				if !ok {
+					g = tensor.NewMatrix(n, dim)
+					grads[tb] = g
+				}
+				rows := g.Data[start[from]*dim : (start[from]+count[from])*dim]
+				return bytesToFloats(rows, payload)
+			})
+			if err != nil {
+				fail(err)
+			}
+		}
+		// The all-to-all barrier above makes every rank's stage 1-3 failure
+		// visible here; skip all updates so the model stays untouched.
+		if !failed.Load() {
+			// Scatter in table order so duplicate-index accumulation
+			// matches the single-process trainer.
+			for tb := 0; tb < numTables; tb++ {
+				g, ok := grads[tb]
+				if !ok {
+					continue
+				}
+				t.tmpl.Emb.Tables[tb].ApplySGD(
+					embedding.SparseGrad{Indices: b.Indices[tb], Grad: g}, t.opts.EmbLR)
+			}
+		}
+
+		// --- stage 5: data-parallel gradient AllReduce + optimizer ---
+		params := rp.m.DenseParams()
+		buf := make([]float32, t.numParams)
+		flattenGrads(params, buf)
+		rank.AllReduceSum(buf, "allreduce")
+		// The allreduce barrier also publishes stage-4 failures.
+		if !failed.Load() {
+			unflattenGrads(buf, params)
+			rp.opt.Step(params)
+		}
+	})
+
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Charge modelled compute once per step for the parallel device fleet
+	// (the busiest rank bounds the synchronous step).
+	maxCnt := 0
+	for _, c := range count {
+		maxCnt = max(maxCnt, c)
+	}
+	mlpT := t.opts.Device.MLPTime(t.stepFlops(maxCnt))
+	t.cl.AddSimTime("mlp", mlpT)
+	if t.opts.OtherComputeFactor > 0 {
+		t.cl.AddSimTime("other", time.Duration(t.opts.OtherComputeFactor*float64(mlpT)))
+	}
+	t.cl.AddSimTime("lookup", t.opts.Device.LookupTime(maxInt64(lookupBytes)))
+	if d := maxDur(compDur); d > 0 {
+		t.cl.AddSimTime("compress", d)
+	}
+	if d := maxDur(decompDur); d > 0 {
+		t.cl.AddSimTime("decompress", d)
+	}
+	for r := 0; r < ranks; r++ {
+		t.fwdRawBytes += fwdRaw[r]
+		t.fwdCompBytes += fwdComp[r]
+	}
+
+	if ranks == 1 {
+		return losses[0], nil
+	}
+	var loss float64
+	for r := 0; r < ranks; r++ {
+		loss += float64(losses[r]) * float64(count[r])
+	}
+	return float32(loss / float64(n)), nil
+}
+
+func flattenGrads(params []nn.Param, buf []float32) {
+	o := 0
+	for _, p := range params {
+		copy(buf[o:], p.Grad)
+		o += len(p.Grad)
+	}
+}
+
+func unflattenGrads(buf []float32, params []nn.Param) {
+	o := 0
+	for _, p := range params {
+		copy(p.Grad, buf[o:o+len(p.Grad)])
+		o += len(p.Grad)
+	}
+}
+
+func maxInt64(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxDur(xs []time.Duration) time.Duration {
+	var m time.Duration
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Every all-to-all payload in the trainer is a sequence of frames, one per
+// embedding table, fused into a single buffer per rank pair (the paper's
+// buffer-fusion optimization, §III-E: one collective per step instead of one
+// per table). A frame is
+//
+//	table  uint32  | enc byte | payloadLen uint32 | payload
+//
+// where enc selects raw little-endian float32 rows or a self-contained codec
+// frame produced by the table's codec.
+const (
+	encRaw   byte = 0 // little-endian float32 rows
+	encCodec byte = 1 // codec.Codec frame
+
+	frameHeaderBytes = 9
+)
+
+// appendFrame appends one table frame to dst and returns the grown buffer.
+func appendFrame(dst []byte, table int, enc byte, payload []byte) []byte {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(table))
+	hdr[4] = enc
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrames walks the fused buffer, invoking fn once per frame.
+func parseFrames(buf []byte, fn func(table int, enc byte, payload []byte) error) error {
+	for len(buf) > 0 {
+		if len(buf) < frameHeaderBytes {
+			return fmt.Errorf("dist: truncated frame header (%d trailing bytes)", len(buf))
+		}
+		table := int(binary.LittleEndian.Uint32(buf[0:4]))
+		enc := buf[4]
+		n := int(binary.LittleEndian.Uint32(buf[5:9]))
+		buf = buf[frameHeaderBytes:]
+		if len(buf) < n {
+			return fmt.Errorf("dist: frame for table %d wants %d payload bytes, have %d", table, n, len(buf))
+		}
+		if err := fn(table, enc, buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// floatsToBytes serializes vals as little-endian float32.
+func floatsToBytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// bytesToFloats deserializes b into dst, which must match exactly.
+func bytesToFloats(dst []float32, b []byte) error {
+	if len(b) != 4*len(dst) {
+		return fmt.Errorf("dist: raw payload is %d bytes, want %d", len(b), 4*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return nil
+}

@@ -91,3 +91,17 @@ func (l *Linear) Params() []Param {
 		{Value: l.B, Grad: l.GradB},
 	}
 }
+
+// Clone returns a layer with copied weights and fresh (zero) gradients and
+// caches. Data-parallel replicas are built this way so every rank starts
+// from bit-identical parameters.
+func (l *Linear) Clone() *Linear {
+	return &Linear{
+		In:    l.In,
+		Out:   l.Out,
+		W:     l.W.Clone(),
+		B:     append([]float32(nil), l.B...),
+		GradW: tensor.NewMatrix(l.Out, l.In),
+		GradB: make([]float32, l.Out),
+	}
+}

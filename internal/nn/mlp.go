@@ -131,6 +131,17 @@ func (m *MLP) Params() []Param {
 	return ps
 }
 
+// Clone returns an MLP with copied weights and fresh gradients, activation
+// masks, and caches (see Linear.Clone).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{SigmoidTop: m.SigmoidTop}
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, l.Clone())
+		c.relus = append(c.relus, &ReLU{})
+	}
+	return c
+}
+
 // NumParams returns the total number of scalar parameters.
 func (m *MLP) NumParams() int {
 	n := 0
