@@ -55,6 +55,7 @@ func BenchmarkTable03_HomoIndexKaggle(b *testing.B)    { benchExperiment(b, "tab
 func BenchmarkTable04_HomoIndexTerabyte(b *testing.B)  { benchExperiment(b, "table4") }
 func BenchmarkTable05_PerTableCR(b *testing.B)         { benchExperiment(b, "table5") }
 func BenchmarkTable06_WindowSweep(b *testing.B)        { benchExperiment(b, "table6") }
+func BenchmarkScaling_RankSweep(b *testing.B)          { benchExperiment(b, "scaling") }
 
 // --- codec throughput benchmarks (the GB/s columns of Fig. 11) --------------
 
@@ -193,6 +194,31 @@ func BenchmarkAblation_VariableAllToAll(b *testing.B) {
 		padded = p.Seconds()
 	}
 	b.ReportMetric(padded/variable, "padded/variable")
+}
+
+// Ablation 3b: hierarchical two-phase all-to-all vs direct exchange on the
+// paper's two-level topology, at compressed-payload message sizes where the
+// slow-link latency floor dominates (the regime the scaling experiment
+// shows the algorithm winning in).
+func BenchmarkAblation_TwoPhaseVsDirect(b *testing.B) {
+	topo := netmodel.PaperHierarchical(4)
+	ranks := 128
+	bytes := make([][]int64, ranks)
+	rng := tensor.NewRNG(7)
+	for from := range bytes {
+		bytes[from] = make([]int64, ranks)
+		for to := range bytes[from] {
+			if to != from {
+				bytes[from][to] = int64(64 + rng.Intn(448)) // compressed frames
+			}
+		}
+	}
+	var direct, twoPhase float64
+	for i := 0; i < b.N; i++ {
+		direct = topo.AllToAllCost(bytes).Total().Seconds()
+		twoPhase = topo.TwoPhaseAllToAllCost(bytes).Total().Seconds()
+	}
+	b.ReportMetric(direct/twoPhase, "direct/two-phase")
 }
 
 // Ablation 4: sensitivity of the L/M/S classification to the Homo-Index

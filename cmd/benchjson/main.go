@@ -1,0 +1,47 @@
+// Command benchjson converts `go test -bench` text output into the JSON
+// report CI archives as a workflow artifact:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -o BENCH_ci.json
+//
+// Reads stdin, writes stdout unless -o is given. Parsing is strict for
+// benchmark lines (a garbled line fails the conversion rather than silently
+// dropping a metric), lenient for everything else.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmcomp/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(rep.Results))
+}

@@ -8,6 +8,7 @@
 //	dlrmtrain -dataset kaggle -ranks 8 -steps 200 -codec hybrid -eb 0.02
 //	dlrmtrain -dataset terabyte -ranks 32 -codec none          # baseline
 //	dlrmtrain -codec hybrid -adaptive                          # dual-level adaptive
+//	dlrmtrain -topology hier -nodes 8 -ranks-per-node 4        # paper testbed shape
 package main
 
 import (
@@ -25,12 +26,16 @@ import (
 	"dlrmcomp/internal/lowprec"
 	"dlrmcomp/internal/lz4like"
 	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/netmodel"
 	"dlrmcomp/internal/profileutil"
 )
 
 func main() {
 	dataset := flag.String("dataset", "kaggle", "kaggle or terabyte")
 	ranks := flag.Int("ranks", 8, "simulated GPU count")
+	topology := flag.String("topology", "flat", "interconnect model: flat (single α-β link) or hier (two-level, two-phase all-to-all)")
+	nodes := flag.Int("nodes", 0, "node count; when > 0, overrides -ranks with nodes*ranks-per-node")
+	ranksPerNode := flag.Int("ranks-per-node", 4, "GPUs per node for -topology hier and -nodes")
 	steps := flag.Int("steps", 200, "training steps")
 	batch := flag.Int("batch", 0, "global batch size (0 = dataset default)")
 	scale := flag.Int("scale", 400, "cardinality scale-down factor")
@@ -52,6 +57,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown dataset:", *dataset)
 		os.Exit(2)
 	}
+	if *ranksPerNode <= 0 {
+		fmt.Fprintln(os.Stderr, "-ranks-per-node must be positive")
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		*ranks = *nodes * *ranksPerNode
+	}
+	var net netmodel.Topology
+	switch *topology {
+	case "flat":
+		net = netmodel.Slingshot10()
+	case "hier", "hierarchical":
+		net = netmodel.PaperHierarchical(*ranksPerNode)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown topology:", *topology)
+		os.Exit(2)
+	}
+
 	spec = criteo.ScaledSpec(spec, *scale)
 	if *batch == 0 {
 		*batch = spec.DefaultBatch
@@ -71,7 +94,7 @@ func main() {
 	}
 
 	makeCodec := codecFactory(*codecName, float32(*eb))
-	opts := dist.Options{Ranks: *ranks, Model: cfg}
+	opts := dist.Options{Ranks: *ranks, Model: cfg, Net: net}
 	if makeCodec != nil {
 		opts.CodecFor = func(int) codec.Codec { return makeCodec() }
 	}
@@ -108,6 +131,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("topology %s: %d ranks across %d node(s)\n", net.Name(), *ranks, net.Nodes(*ranks))
 	for i := 0; i < *steps; i++ {
 		loss, err := tr.Step(gen.NextBatch(*batch))
 		if err != nil {

@@ -4,6 +4,7 @@
 //
 //	experiments -list
 //	experiments -run fig11          # one experiment
+//	experiments scaling             # positional form of -run
 //	experiments -run all            # everything, in order
 //	experiments -run fig12 -full    # paper-scale workloads (slower)
 package main
@@ -29,8 +30,15 @@ func main() {
 		}
 		return
 	}
+	if *run == "" && flag.NArg() > 0 {
+		// `experiments scaling [-full]` == `experiments -run scaling [-full]`:
+		// flag.Parse stops at the first non-flag argument, so re-parse the
+		// tail for flags that follow the positional id.
+		*run = flag.Arg(0)
+		flag.CommandLine.Parse(flag.Args()[1:]) // ExitOnError: exits on bad flags
+	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "usage: experiments -run <id>|all [-full] | -list")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-run] <id>|all [-full] | -list")
 		os.Exit(2)
 	}
 	opts := experiments.Options{Quick: !*full}

@@ -167,8 +167,15 @@ type (
 	Generator = criteo.Generator
 	// Batch is one mini-batch of samples.
 	Batch = criteo.Batch
-	// Network is the α-β interconnect model.
+	// Network is the flat α-β interconnect model.
 	Network = netmodel.Network
+	// Topology is the pluggable interconnect model collectives charge
+	// simulated time against (Network and Hierarchical implement it).
+	Topology = netmodel.Topology
+	// Hierarchical is the two-level (intra-/inter-node) interconnect model
+	// of the paper's testbed; the trainer pairs it with the two-phase
+	// all-to-all and splits all-to-all buckets per link.
+	Hierarchical = netmodel.Hierarchical
 )
 
 // NewModel builds a single-process DLRM.
@@ -189,8 +196,15 @@ func ScaledSpec(s DatasetSpec, factor int) DatasetSpec { return criteo.ScaledSpe
 // NewGenerator builds a deterministic batch generator.
 func NewGenerator(spec DatasetSpec) *Generator { return criteo.NewGenerator(spec) }
 
-// Slingshot10 returns the paper-calibrated interconnect model.
+// Slingshot10 returns the paper-calibrated flat interconnect model.
 func Slingshot10() Network { return netmodel.Slingshot10() }
+
+// PaperHierarchical returns the paper-calibrated two-level topology
+// (NVLink inside a node, Slingshot-10 between nodes); ranksPerNode <= 0
+// selects the testbed's 4 GPUs per node.
+func PaperHierarchical(ranksPerNode int) Hierarchical {
+	return netmodel.PaperHierarchical(ranksPerNode)
+}
 
 // --- experiments ------------------------------------------------------------
 

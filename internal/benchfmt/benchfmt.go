@@ -1,0 +1,116 @@
+// Package benchfmt parses the text output of `go test -bench` into a
+// machine-readable report, so CI can archive every run as a JSON artifact
+// (BENCH_ci.json) and the perf trajectory of the reproduction is tracked
+// per PR. Only the standard benchmark line grammar is recognised:
+//
+//	BenchmarkName-8   	  1000	 1234 ns/op	 56 B/op	 2 allocs/op	 3.14 custom-metric
+//
+// plus the goos/goarch/pkg/cpu header lines the test binary prints.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Package is the import path of the enclosing "pkg:" header.
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line,
+	// including ns/op, B/op, allocs/op, MB/s, and custom b.ReportMetric
+	// units (e.g. the compression-ratio and speedup metrics bench_test.go
+	// reports).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is a full parsed run.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output. Unrecognised lines (test chatter,
+// PASS/ok trailers) are skipped; a benchmark line that fails to parse is an
+// error, so silent metric loss cannot masquerade as a clean run.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			res.Package = pkg
+			rep.Results = append(rep.Results, *res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func parseLine(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	// A benchmark line is name, iterations, then value/unit pairs.
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("benchfmt: truncated benchmark line %q", line)
+	}
+	name := fields[0]
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: bad iteration count in %q: %w", line, err)
+	}
+	if (len(fields)-2)%2 != 0 {
+		return nil, fmt.Errorf("benchfmt: odd value/unit tail in %q", line)
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad metric value %q in %q: %w", fields[i], line, err)
+		}
+		metrics[fields[i+1]] = v
+	}
+	return &Result{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, nil
+}
+
+// WriteJSON renders a report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

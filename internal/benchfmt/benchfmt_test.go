@@ -1,0 +1,94 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dlrmcomp
+cpu: AMD EPYC 7B13
+BenchmarkFig01_Breakdown-8   	       1	 52341876 ns/op
+BenchmarkCodec_HybridCompress-8  	     100	  10500123 ns/op	 498.91 MB/s	     2048 B/op	      12 allocs/op
+BenchmarkAblation_VectorVsByteLZ-8 	       1	   1000000 ns/op	         2.650 advantage	        12.40 byteLZ-CR	        32.90 vectorLZ-CR
+PASS
+ok  	dlrmcomp	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkFig01_Breakdown" || r.Procs != 8 || r.Package != "dlrmcomp" {
+		t.Fatalf("result 0: %+v", r)
+	}
+	if r.Iterations != 1 || r.Metrics["ns/op"] != 52341876 {
+		t.Fatalf("result 0 metrics: %+v", r)
+	}
+	c := rep.Results[1]
+	if c.Metrics["MB/s"] != 498.91 || c.Metrics["B/op"] != 2048 || c.Metrics["allocs/op"] != 12 {
+		t.Fatalf("result 1 metrics: %+v", c.Metrics)
+	}
+	a := rep.Results[2]
+	if a.Metrics["advantage"] != 2.65 || a.Metrics["vectorLZ-CR"] != 32.9 {
+		t.Fatalf("custom metrics lost: %+v", a.Metrics)
+	}
+}
+
+func TestParseRejectsMalformedBenchLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 notanumber 5 ns/op\n")); err == nil {
+		t.Fatal("bad iteration count must error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 10 5 ns/op trailing\n")); err == nil {
+		t.Fatal("odd value/unit tail must error")
+	}
+}
+
+func TestParseSkipsChatter(t *testing.T) {
+	rep, err := Parse(strings.NewReader("=== RUN TestFoo\n--- PASS: TestFoo\nok \tpkg\t1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("chatter produced results: %+v", rep.Results)
+	}
+}
+
+func TestNameWithoutProcsSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBare 5 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Name != "BenchmarkBare" || rep.Results[0].Procs != 0 {
+		t.Fatalf("bare name mishandled: %+v", rep.Results[0])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON emitted: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) || back.Results[1].Metrics["MB/s"] != 498.91 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -3,11 +3,19 @@
 // real data through shared-memory collectives (AllToAll, variable-size
 // AllToAllV with the paper's two-phase metadata+payload protocol from
 // §III-A, and AllReduce), and every collective charges simulated wall time
-// to a labelled accounting bucket via the netmodel α-β interconnect model.
+// to a labelled accounting bucket via a pluggable netmodel.Topology.
+//
+// Collectives select an all-to-all algorithm per call: the direct exchange
+// (every rank posts to every peer) or the hierarchical two-phase algorithm
+// (same-node pairs over the fast link, cross-node payloads staged through
+// node leaders over the slow link — see twophase.go). Under a topology that
+// spans multiple nodes, all-to-all time is attributed to separate
+// "<label>-intra" and "<label>-inter" buckets; flat topologies keep the
+// single "<label>" bucket.
 //
 // Training math executed on top of this runtime is real — only the clock is
 // modelled — so accuracy experiments and timing experiments share one code
-// path.
+// path, and the two all-to-all algorithms deliver bit-identical payloads.
 package cluster
 
 import (
@@ -22,10 +30,30 @@ import (
 // peer before a variable-size all-to-all (stage ② of the paper's pipeline).
 const MetadataBytesPerPair = 8
 
+// A2AAlgo selects the all-to-all algorithm for one collective.
+type A2AAlgo int
+
+const (
+	// A2AAuto picks the two-phase hierarchical algorithm whenever the
+	// topology spans more than one node, and the direct exchange otherwise.
+	A2AAuto A2AAlgo = iota
+	// A2ADirect posts every payload straight to its destination rank.
+	A2ADirect
+	// A2ATwoPhase stages cross-node payloads through node leaders. On a
+	// single-node (or flat) topology it degenerates to A2ADirect.
+	A2ATwoPhase
+)
+
 // Cluster is a simulated process group.
 type Cluster struct {
 	N   int
-	Net netmodel.Network
+	Net netmodel.Topology
+
+	// Topology layout, precomputed at New: rank -> node, node -> leader
+	// rank (the lowest rank in the node).
+	nodes   int
+	nodeOf  []int
+	leaders []int
 
 	bar *barrier
 
@@ -33,25 +61,68 @@ type Cluster struct {
 	boxes     [][][]byte // boxes[from][to]
 	reduceBuf []float32
 	simTime   map[string]time.Duration
+
+	// sizes[from][to] stashes the payload matrix of the collective in
+	// flight so rank 0 can charge simulated time from global knowledge.
+	// Each rank writes only its own row, before the collective's first
+	// barrier; rank 0 reads after it.
+	sizes [][]int64
 }
 
-// New creates a cluster of n ranks over the given network model.
-func New(n int, net netmodel.Network) *Cluster {
+// New creates a cluster of n ranks over the given topology; nil means the
+// flat netmodel.Slingshot10().
+func New(n int, net netmodel.Topology) *Cluster {
 	if n <= 0 {
 		panic(fmt.Sprintf("cluster: invalid rank count %d", n))
 	}
+	if net == nil {
+		net = netmodel.Slingshot10()
+	}
+	nodes := net.Nodes(n)
+	if nodes < 1 {
+		panic(fmt.Sprintf("cluster: topology reports %d nodes for %d ranks", nodes, n))
+	}
+	nodeOf := make([]int, n)
+	leaders := make([]int, nodes)
+	for i := range leaders {
+		leaders[i] = -1
+	}
+	for r := 0; r < n; r++ {
+		nd := net.NodeOf(r)
+		if nd < 0 || nd >= nodes {
+			panic(fmt.Sprintf("cluster: topology maps rank %d to node %d outside [0,%d)", r, nd, nodes))
+		}
+		nodeOf[r] = nd
+		if leaders[nd] == -1 {
+			leaders[nd] = r
+		}
+	}
+	for nd, l := range leaders {
+		if l == -1 {
+			panic(fmt.Sprintf("cluster: topology leaves node %d empty for %d ranks", nd, n))
+		}
+	}
 	boxes := make([][][]byte, n)
+	sizes := make([][]int64, n)
 	for i := range boxes {
 		boxes[i] = make([][]byte, n)
+		sizes[i] = make([]int64, n)
 	}
 	return &Cluster{
 		N:       n,
 		Net:     net,
+		nodes:   nodes,
+		nodeOf:  nodeOf,
+		leaders: leaders,
 		bar:     newBarrier(n),
 		boxes:   boxes,
+		sizes:   sizes,
 		simTime: make(map[string]time.Duration),
 	}
 }
+
+// Nodes returns how many nodes the topology spans for this cluster size.
+func (c *Cluster) Nodes() int { return c.nodes }
 
 // Run executes fn on every rank concurrently and blocks until all return.
 func (c *Cluster) Run(fn func(r *Rank)) {
@@ -93,6 +164,22 @@ func (c *Cluster) AddSimTime(label string, d time.Duration) {
 	c.mu.Unlock()
 }
 
+// chargeA2A attributes an all-to-all's cost. Multi-node topologies split
+// into per-link "<label>-intra" / "<label>-inter" buckets (zero components
+// are skipped); flat and single-node clusters keep the plain label.
+func (c *Cluster) chargeA2A(label string, cost netmodel.LinkCost) {
+	if c.nodes > 1 {
+		if cost.Intra > 0 {
+			c.AddSimTime(label+"-intra", cost.Intra)
+		}
+		if cost.Inter > 0 {
+			c.AddSimTime(label+"-inter", cost.Inter)
+		}
+		return
+	}
+	c.AddSimTime(label, cost.Total())
+}
+
 // ResetSimTime clears all buckets.
 func (c *Cluster) ResetSimTime() {
 	c.mu.Lock()
@@ -109,20 +196,48 @@ type Rank struct {
 // N returns the cluster size.
 func (r *Rank) N() int { return r.c.N }
 
+// Node returns the node housing this rank under the cluster's topology.
+func (r *Rank) Node() int { return r.c.nodeOf[r.ID] }
+
 // Barrier blocks until every rank reaches it.
 func (r *Rank) Barrier() { r.c.bar.await() }
 
-// AllToAll exchanges one buffer per peer: send[j] goes to rank j, and the
-// result's entry i holds the buffer rank i sent here. send[r.ID] is
-// delivered locally. If variable is true the simulated cost includes the
-// metadata exchange of the paper's stage ② (required because compressed
-// sizes differ per pair); fixed-size exchanges (the uncompressed baseline)
-// skip it.
+// AllToAll exchanges one buffer per peer with the direct algorithm: send[j]
+// goes to rank j, and the result's entry i holds the buffer rank i sent
+// here. send[r.ID] is delivered locally. If variable is true the simulated
+// cost includes the metadata exchange of the paper's stage ② (required
+// because compressed sizes differ per pair); fixed-size exchanges (the
+// uncompressed baseline) skip it.
 func (r *Rank) AllToAll(send [][]byte, variable bool, label string) [][]byte {
+	return r.AllToAllV(send, variable, label, A2ADirect)
+}
+
+// AllToAllV is AllToAll with an explicit algorithm choice. Every rank of a
+// collective must pass the same algo (as with any collective's arguments).
+// The two algorithms deliver bit-identical payloads; they differ in the
+// route cross-node payloads take and therefore in the simulated cost and
+// its intra/inter attribution.
+func (r *Rank) AllToAllV(send [][]byte, variable bool, label string, algo A2AAlgo) [][]byte {
 	c := r.c
 	if len(send) != c.N {
 		panic(fmt.Sprintf("cluster: rank %d sent %d buffers for %d ranks", r.ID, len(send), c.N))
 	}
+	// Publish this rank's payload sizes for rank 0's cost accounting.
+	// Rows are disjoint per writer and the collective's barriers order the
+	// writes before rank 0's read.
+	for to, buf := range send {
+		c.sizes[r.ID][to] = int64(len(buf))
+	}
+	if algo != A2ADirect && c.nodes > 1 {
+		return r.twoPhase(send, variable, label)
+	}
+	return r.direct(send, variable, label)
+}
+
+// direct implements the single-phase exchange: every payload goes straight
+// into its destination's box.
+func (r *Rank) direct(send [][]byte, variable bool, label string) [][]byte {
+	c := r.c
 	c.mu.Lock()
 	for to, buf := range send {
 		c.boxes[r.ID][to] = buf
@@ -131,25 +246,13 @@ func (r *Rank) AllToAll(send [][]byte, variable bool, label string) [][]byte {
 	r.Barrier()
 
 	// Rank 0 charges the simulated time once, from global knowledge of
-	// send volumes.
+	// the pairwise payload matrix.
 	if r.ID == 0 {
-		sends := make([]int64, c.N)
-		c.mu.Lock()
-		for from := 0; from < c.N; from++ {
-			var total int64
-			for to := 0; to < c.N; to++ {
-				if from != to {
-					total += int64(len(c.boxes[from][to]))
-				}
-			}
-			sends[from] = total
-		}
-		c.mu.Unlock()
-		d := c.Net.AllToAllTime(c.N, sends)
+		cost := c.Net.AllToAllCost(c.sizes)
 		if variable {
-			d += c.Net.MetadataTime(c.N, MetadataBytesPerPair)
+			cost = cost.Add(c.Net.MetadataCost(c.N, MetadataBytesPerPair))
 		}
-		c.AddSimTime(label, d)
+		c.chargeA2A(label, cost)
 	}
 
 	recv := make([][]byte, c.N)

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the hierarchical two-phase all-to-all. Payloads
+// really take the staged route (they are copied into envelope bundles and
+// re-routed through node leaders), so the algorithm is exercised end to end
+// — delivery is bit-identical to the direct path by construction of the
+// routing, not by sharing its code.
+//
+// Envelope wire format, used for every staged hop:
+//
+//	origFrom uint32 | origTo uint32 | payloadLen uint32 | payload
+//
+// A bundle is a concatenation of envelopes. Empty payloads are never
+// enveloped: the direct path delivers them as nil, and skipping them keeps
+// the two paths' results identical.
+
+const envelopeHeaderBytes = 12
+
+// appendEnvelope appends one routed payload to a bundle.
+func appendEnvelope(dst []byte, origFrom, origTo int, payload []byte) []byte {
+	var hdr [envelopeHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(origFrom))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(origTo))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// parseEnvelopes walks a bundle, invoking fn once per envelope. Payload
+// slices alias the bundle.
+func parseEnvelopes(bundle []byte, fn func(origFrom, origTo int, payload []byte)) {
+	for len(bundle) > 0 {
+		if len(bundle) < envelopeHeaderBytes {
+			panic(fmt.Sprintf("cluster: truncated envelope header (%d trailing bytes)", len(bundle)))
+		}
+		from := int(binary.LittleEndian.Uint32(bundle[0:4]))
+		to := int(binary.LittleEndian.Uint32(bundle[4:8]))
+		n := int(binary.LittleEndian.Uint32(bundle[8:12]))
+		bundle = bundle[envelopeHeaderBytes:]
+		if len(bundle) < n {
+			panic(fmt.Sprintf("cluster: envelope %d->%d wants %d payload bytes, have %d", from, to, n, len(bundle)))
+		}
+		fn(from, to, bundle[:n])
+		bundle = bundle[n:]
+	}
+}
+
+// twoPhase runs the hierarchical all-to-all (§III-A adapted to a two-level
+// machine):
+//
+//	phase 1 (intra, fast link): each rank sends every same-node peer its
+//	  direct payload and ships all its cross-node payloads to the node
+//	  leader;
+//	phase 2 (inter, slow link): leaders exchange one bundle per remote
+//	  node, carrying everything their node sends there;
+//	phase 3 (intra, fast link): leaders scatter inbound envelopes to their
+//	  final local rank.
+//
+// Rank 0 charges the collective once through Net.TwoPhaseAllToAllCost
+// (plus MetadataCost when variable), split into "<label>-intra" /
+// "<label>-inter" buckets. The staged data movement is real shared-memory
+// routing with four barriers; only the clock is modelled.
+func (r *Rank) twoPhase(send [][]byte, variable bool, label string) [][]byte {
+	c := r.c
+	me := r.ID
+	myNode := c.nodeOf[me]
+	myLeader := c.leaders[myNode]
+	recv := make([][]byte, c.N)
+	recv[me] = send[me]
+
+	// --- phase 1 post: direct payloads to local peers, cross-node
+	// payloads bundled to the leader. Writing the full box row also clears
+	// any stale cells from a previous collective.
+	bundles := make([][]byte, c.N)
+	for to := 0; to < c.N; to++ {
+		if to == me || len(send[to]) == 0 {
+			continue
+		}
+		switch {
+		case c.nodeOf[to] == myNode:
+			bundles[to] = appendEnvelope(bundles[to], me, to, send[to])
+		case me != myLeader:
+			bundles[myLeader] = appendEnvelope(bundles[myLeader], me, to, send[to])
+		}
+	}
+	// Leaders queue their own cross-node payloads straight for phase 2.
+	crossByNode := make([][]byte, c.nodes)
+	if me == myLeader {
+		for to := 0; to < c.N; to++ {
+			if nd := c.nodeOf[to]; nd != myNode && len(send[to]) > 0 {
+				crossByNode[nd] = appendEnvelope(crossByNode[nd], me, to, send[to])
+			}
+		}
+	}
+	c.mu.Lock()
+	for to := range bundles {
+		c.boxes[me][to] = bundles[to]
+	}
+	c.mu.Unlock()
+	r.Barrier()
+
+	if me == 0 {
+		cost := c.Net.TwoPhaseAllToAllCost(c.sizes)
+		if variable {
+			cost = cost.Add(c.Net.MetadataCost(c.N, MetadataBytesPerPair))
+		}
+		c.chargeA2A(label, cost)
+	}
+
+	// --- phase 1 read: unpack same-node bundles; leaders collect
+	// forwarded cross-node envelopes per destination node.
+	for from := 0; from < c.N; from++ {
+		if from == me || c.nodeOf[from] != myNode {
+			continue
+		}
+		c.mu.Lock()
+		bundle := c.boxes[from][me]
+		c.mu.Unlock()
+		parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) {
+			if origTo == me {
+				recv[origFrom] = payload
+				return
+			}
+			if me != myLeader {
+				panic(fmt.Sprintf("cluster: rank %d received envelope for %d but is not a leader", me, origTo))
+			}
+			crossByNode[c.nodeOf[origTo]] = appendEnvelope(crossByNode[c.nodeOf[origTo]], origFrom, origTo, payload)
+		})
+	}
+	// --- phase 2 post: leaders trade node-to-node bundles. The target
+	// cells belong to leader pairs, which phase 1 never populates (leaders
+	// live on distinct nodes), so posting right after the phase-1 reads is
+	// safe; the next barrier publishes them.
+	if me == myLeader {
+		c.mu.Lock()
+		for nd, l := range c.leaders {
+			if l != me {
+				c.boxes[me][l] = crossByNode[nd]
+			}
+		}
+		c.mu.Unlock()
+	}
+	r.Barrier()
+
+	// --- phase 2 read + phase 3 post: leaders unpack inbound bundles,
+	// deliver their own payloads, and rebundle the rest per local rank.
+	if me == myLeader {
+		scatter := make([][]byte, c.N)
+		for _, l := range c.leaders {
+			if l == me {
+				continue
+			}
+			c.mu.Lock()
+			bundle := c.boxes[l][me]
+			c.mu.Unlock()
+			parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) {
+				if origTo == me {
+					recv[origFrom] = payload
+				} else {
+					scatter[origTo] = appendEnvelope(scatter[origTo], origFrom, origTo, payload)
+				}
+			})
+		}
+		c.mu.Lock()
+		for to := 0; to < c.N; to++ {
+			if to != me && c.nodeOf[to] == myNode {
+				c.boxes[me][to] = scatter[to]
+			}
+		}
+		c.mu.Unlock()
+	}
+	r.Barrier()
+
+	// --- phase 3 read: non-leaders take final deliveries from their
+	// leader.
+	if me != myLeader {
+		c.mu.Lock()
+		bundle := c.boxes[myLeader][me]
+		c.mu.Unlock()
+		parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) {
+			if origTo != me {
+				panic(fmt.Sprintf("cluster: rank %d received scatter envelope for %d", me, origTo))
+			}
+			recv[origFrom] = payload
+		})
+	}
+	// Final barrier so nobody starts the next collective (overwriting
+	// boxes) before all reads finish.
+	r.Barrier()
+	return recv
+}

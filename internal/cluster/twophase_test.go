@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dlrmcomp/internal/netmodel"
+)
+
+func testHier(rpn int) netmodel.Hierarchical { return netmodel.PaperHierarchical(rpn) }
+
+// testPayload builds a distinct payload per (from, to, round); size varies
+// with the pair, including empty payloads, to exercise variable-size
+// bundles.
+func testPayload(from, to, round, n int) []byte {
+	if (from+to+round)%5 == 0 {
+		return nil
+	}
+	size := 1 + (from*31+to*7+round*13)%64
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(from ^ (to << 2) ^ (round << 4) ^ i)
+	}
+	return buf
+}
+
+// runExchange performs rounds of all-to-alls on a fresh cluster and returns
+// every rank's received buffers: out[round][receiver][sender].
+func runExchange(n int, net netmodel.Topology, algo A2AAlgo, rounds int) [][][][]byte {
+	c := New(n, net)
+	out := make([][][][]byte, rounds)
+	for r := range out {
+		out[r] = make([][][]byte, n)
+	}
+	c.Run(func(r *Rank) {
+		for round := 0; round < rounds; round++ {
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = testPayload(r.ID, to, round, n)
+			}
+			out[round][r.ID] = r.AllToAllV(send, true, "x", algo)
+		}
+	})
+	return out
+}
+
+// TestTwoPhaseBitParityWithDirect: across uneven cluster shapes (including
+// a ragged last node), repeated rounds of the staged two-phase exchange
+// must deliver payloads bit-identical to the direct path.
+func TestTwoPhaseBitParityWithDirect(t *testing.T) {
+	for _, tc := range []struct{ n, rpn int }{{8, 4}, {6, 4}, {9, 3}, {5, 2}, {4, 1}} {
+		t.Run(fmt.Sprintf("n%d-rpn%d", tc.n, tc.rpn), func(t *testing.T) {
+			const rounds = 4
+			direct := runExchange(tc.n, testHier(tc.rpn), A2ADirect, rounds)
+			staged := runExchange(tc.n, testHier(tc.rpn), A2ATwoPhase, rounds)
+			for round := 0; round < rounds; round++ {
+				for me := 0; me < tc.n; me++ {
+					for from := 0; from < tc.n; from++ {
+						if !bytes.Equal(direct[round][me][from], staged[round][me][from]) {
+							t.Fatalf("round %d: rank %d got %x from %d via two-phase, want %x",
+								round, me, staged[round][me][from], from, direct[round][me][from])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlgoInterleavingReusesBoxes: alternating direct and two-phase
+// collectives on one cluster must not leak stale buffers between
+// algorithms.
+func TestAlgoInterleavingReusesBoxes(t *testing.T) {
+	n := 8
+	c := New(n, testHier(4))
+	c.Run(func(r *Rank) {
+		for round := 0; round < 6; round++ {
+			algo := A2ADirect
+			if round%2 == 1 {
+				algo = A2ATwoPhase
+			}
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = testPayload(r.ID, to, round, n)
+			}
+			recv := r.AllToAllV(send, false, "x", algo)
+			for from := 0; from < n; from++ {
+				if want := testPayload(from, r.ID, round, n); !bytes.Equal(recv[from], want) {
+					t.Errorf("round %d (algo %d): rank %d got %x from %d, want %x",
+						round, algo, r.ID, recv[from], from, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestHierarchicalBucketSplit: a multi-node topology charges the split
+// "-intra"/"-inter" buckets and leaves the plain label empty; a flat
+// topology keeps the plain label.
+func TestHierarchicalBucketSplit(t *testing.T) {
+	n := 8
+	run := func(net netmodel.Topology, algo A2AAlgo) map[string]time.Duration {
+		c := New(n, net)
+		c.Run(func(r *Rank) {
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = make([]byte, 1024)
+			}
+			r.AllToAllV(send, false, "fwd", algo)
+		})
+		return c.SimTimes()
+	}
+
+	hier := run(testHier(4), A2ATwoPhase)
+	if hier["fwd-intra"] <= 0 || hier["fwd-inter"] <= 0 {
+		t.Fatalf("hierarchical buckets not split: %v", hier)
+	}
+	if hier["fwd"] != 0 {
+		t.Fatalf("hierarchical run charged the flat bucket: %v", hier)
+	}
+	// The direct algorithm on the same topology also splits attribution.
+	direct := run(testHier(4), A2ADirect)
+	if direct["fwd-intra"] <= 0 || direct["fwd-inter"] <= 0 {
+		t.Fatalf("direct-on-hierarchical buckets not split: %v", direct)
+	}
+	flat := run(netmodel.Slingshot10(), A2AAuto)
+	if flat["fwd"] <= 0 || flat["fwd-intra"] != 0 || flat["fwd-inter"] != 0 {
+		t.Fatalf("flat run must charge only the plain bucket: %v", flat)
+	}
+}
+
+// TestAutoAlgoSelection: A2AAuto stages through leaders exactly when the
+// topology spans several nodes — observable through the latency floor,
+// which is lower two-phase than direct for tiny payloads.
+func TestAutoAlgoSelection(t *testing.T) {
+	n := 16
+	a2aTotal := func(algo A2AAlgo) time.Duration {
+		c := New(n, testHier(4))
+		c.Run(func(r *Rank) {
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = []byte{1}
+			}
+			r.AllToAllV(send, false, "x", algo)
+		})
+		return c.SimTime("x-intra") + c.SimTime("x-inter")
+	}
+	auto, direct, twoPhase := a2aTotal(A2AAuto), a2aTotal(A2ADirect), a2aTotal(A2ATwoPhase)
+	if auto != twoPhase {
+		t.Fatalf("auto (%v) should pick two-phase (%v) on a multi-node topology", auto, twoPhase)
+	}
+	if auto >= direct {
+		t.Fatalf("two-phase (%v) should beat direct (%v) on tiny payloads", auto, direct)
+	}
+}
+
+// TestTwoPhaseVariableChargesMetadata mirrors the direct-path metadata test
+// for the staged algorithm.
+func TestTwoPhaseVariableChargesMetadata(t *testing.T) {
+	n := 8
+	run := func(variable bool) time.Duration {
+		c := New(n, testHier(4))
+		c.Run(func(r *Rank) {
+			send := make([][]byte, n)
+			for to := 0; to < n; to++ {
+				send[to] = make([]byte, 256)
+			}
+			r.AllToAllV(send, variable, "x", A2ATwoPhase)
+		})
+		return c.SimTime("x-intra") + c.SimTime("x-inter")
+	}
+	if run(true) <= run(false) {
+		t.Fatal("variable-size two-phase must cost extra metadata time")
+	}
+}
+
+// TestSingleRankCollectivesAreFree: a 1-rank cluster performs no exchange
+// and charges nothing, under any topology and algorithm.
+func TestSingleRankCollectivesAreFree(t *testing.T) {
+	for _, net := range []netmodel.Topology{netmodel.Slingshot10(), testHier(4)} {
+		c := New(1, net)
+		c.Run(func(r *Rank) {
+			payload := []byte{1, 2, 3}
+			recv := r.AllToAllV([][]byte{payload}, true, "x", A2AAuto)
+			if !bytes.Equal(recv[0], payload) {
+				t.Errorf("%s: self-delivery broken", net.Name())
+			}
+		})
+		for label, d := range c.SimTimes() {
+			if d != 0 {
+				t.Fatalf("%s: 1-rank cluster charged %q = %v", net.Name(), label, d)
+			}
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip exercises the staged-hop wire format directly.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	var bundle []byte
+	bundle = appendEnvelope(bundle, 3, 11, []byte("hello"))
+	bundle = appendEnvelope(bundle, 0, 2, nil)
+	bundle = appendEnvelope(bundle, 7, 1, []byte{0xff})
+	var seen int
+	parseEnvelopes(bundle, func(from, to int, payload []byte) {
+		switch seen {
+		case 0:
+			if from != 3 || to != 11 || string(payload) != "hello" {
+				t.Fatalf("envelope 0: %d->%d %q", from, to, payload)
+			}
+		case 1:
+			if from != 0 || to != 2 || len(payload) != 0 {
+				t.Fatalf("envelope 1: %d->%d %q", from, to, payload)
+			}
+		case 2:
+			if from != 7 || to != 1 || payload[0] != 0xff {
+				t.Fatalf("envelope 2: %d->%d %q", from, to, payload)
+			}
+		}
+		seen++
+	})
+	if seen != 3 {
+		t.Fatalf("saw %d envelopes", seen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("truncated bundle must panic")
+		}
+	}()
+	parseEnvelopes(bundle[:5], func(int, int, []byte) {})
+}

@@ -13,10 +13,12 @@
 //
 // The training math is real (the same tensors a single-process model.DLRM
 // computes); only the clock is modelled. Collectives charge simulated time
-// through the netmodel α-β interconnect, and the trainer charges compute and
-// codec kernels to the buckets profileutil.Breakdown reads: "fwd-a2a",
+// through the pluggable netmodel.Topology, and the trainer charges compute
+// and codec kernels to the buckets profileutil.Breakdown reads: "fwd-a2a",
 // "bwd-a2a", "allreduce", "mlp", "lookup", "other", "compress", and
-// "decompress".
+// "decompress". Under a multi-node topology (netmodel.Hierarchical) the
+// all-to-all buckets split per link into "fwd-a2a-intra"/"fwd-a2a-inter"
+// and "bwd-a2a-intra"/"bwd-a2a-inter".
 //
 // Compression plugs in per table via Options.CodecFor, and the dual-level
 // adaptive strategy via Options.Controller, which re-tunes every
@@ -53,8 +55,17 @@ type Options struct {
 	// Model describes the DLRM instance replicated (MLPs) and sharded
 	// (embedding tables) across ranks.
 	Model model.Config
-	// Net is the interconnect model; the zero value means Slingshot10().
-	Net netmodel.Network
+	// Net is the interconnect topology; nil (or a zero-value Network, the
+	// pre-interface way of requesting the default) means the flat
+	// netmodel.Slingshot10(). Pass a netmodel.Hierarchical to model the
+	// paper's two-level testbed — the embedding all-to-alls then charge
+	// separate "fwd-a2a-intra"/"fwd-a2a-inter" (and bwd) buckets.
+	Net netmodel.Topology
+	// Algo selects the all-to-all algorithm for the embedding exchanges.
+	// The default cluster.A2AAuto uses the hierarchical two-phase
+	// algorithm whenever Net spans more than one node and the direct
+	// exchange otherwise; payloads are bit-identical either way.
+	Algo cluster.A2AAlgo
 	// Device models per-GPU compute; the zero value means A100().
 	Device netmodel.Device
 	// OtherComputeFactor charges an "other" bucket of this fraction of the
@@ -129,7 +140,12 @@ func NewTrainer(opts Options) (*Trainer, error) {
 	if err := opts.Model.Validate(); err != nil {
 		return nil, err
 	}
-	if (opts.Net == netmodel.Network{}) {
+	if opts.Net == nil {
+		opts.Net = netmodel.Slingshot10()
+	} else if n, ok := opts.Net.(netmodel.Network); ok && n == (netmodel.Network{}) {
+		// The pre-Topology API documented the zero value as "use the
+		// default"; honor that so such callers don't run on a
+		// zero-bandwidth network.
 		opts.Net = netmodel.Slingshot10()
 	}
 	if (opts.Device == netmodel.Device{}) {

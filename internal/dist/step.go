@@ -169,7 +169,7 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 				send[dst] = appendFrame(send[dst], tb, encCodec, frame)
 			}
 		}
-		recv := rank.AllToAll(send, t.anyCodec, "fwd-a2a")
+		recv := rank.AllToAllV(send, t.anyCodec, "fwd-a2a", t.opts.Algo)
 
 		// --- stage 2: reconstruct the local shard's lookups ---
 		for from := 0; from < ranks; from++ {
@@ -244,7 +244,7 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 				send2[dst] = appendFrame(send2[dst], tb, encRaw, floatsToBytes(dLookups[tb].Data))
 			}
 		}
-		recv2 := rank.AllToAll(send2, false, "bwd-a2a")
+		recv2 := rank.AllToAllV(send2, false, "bwd-a2a", t.opts.Algo)
 
 		grads := make(map[int]*tensor.Matrix) // owned table -> [n, dim]
 		for from := 0; from < ranks; from++ {

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/profileutil"
+)
+
+func init() {
+	register("scaling", runScaling)
+}
+
+// a2aTime sums a breakdown's embedding all-to-all buckets across both the
+// flat label and the per-link split a hierarchical topology produces.
+func a2aTime(bd profileutil.Breakdown) time.Duration {
+	var t time.Duration
+	for _, label := range []string{
+		"fwd-a2a", "fwd-a2a-intra", "fwd-a2a-inter",
+		"bwd-a2a", "bwd-a2a-intra", "bwd-a2a-inter",
+	} {
+		t += bd[label]
+	}
+	return t
+}
+
+// scalingRun is one cell of the sweep.
+type scalingRun struct {
+	total time.Duration
+	a2a   time.Duration
+	intra time.Duration
+	cr    float64
+}
+
+// runScaling asks the scale questions the flat model cannot: it sweeps the
+// rank count 4→128 at a fixed global batch (strong scaling) and compares
+// the flat single-link topology against the hierarchical two-level model
+// (4 ranks/node, two-phase all-to-all), with and without the hybrid codec.
+// The hierarchical model routes intra-node traffic over the NVLink-class
+// link and aggregates cross-node traffic per NIC, so its advantage grows as
+// compression shrinks payloads toward the latency floor; the intra share
+// column shows intra-node traffic ceasing to matter as the node count
+// grows.
+func runScaling(opts Options) (*Result, error) {
+	rankSweep := []int{4, 8, 16, 32, 64, 128}
+	steps, batch := 3, 2048
+	if opts.Quick {
+		rankSweep = []int{4, 8, 32, 64, 128}
+		steps, batch = 2, 256
+	}
+	const ranksPerNode = 4
+	base := criteo.TerabyteSpec()
+	spec := criteo.ScaledSpec(base, datasetScale(opts.Quick))
+	eb := probeEB(base)
+
+	run := func(ranks int, hier, compressed bool) (scalingRun, error) {
+		gen := criteo.NewGenerator(spec)
+		o := dist.Options{
+			Ranks:              ranks,
+			Model:              timingModelConfig(spec, opts.Quick),
+			Device:             paperDevice(),
+			OtherComputeFactor: 0.8,
+		}
+		if hier {
+			o.Net = netmodel.PaperHierarchical(ranksPerNode)
+		} else {
+			o.Net = paperNetwork()
+		}
+		if compressed {
+			o.CodecFor = func(int) codec.Codec { return hybrid.New(eb, hybrid.Auto) }
+		}
+		tr, err := dist.NewTrainer(o)
+		if err != nil {
+			return scalingRun{}, err
+		}
+		bd, err := runTimed(tr, gen, steps, batch)
+		if err != nil {
+			return scalingRun{}, err
+		}
+		return scalingRun{
+			total: bd.Total(),
+			a2a:   a2aTime(bd),
+			intra: bd["fwd-a2a-intra"] + bd["bwd-a2a-intra"],
+			cr:    tr.CompressionRatio(),
+		}, nil
+	}
+
+	var rows [][]string
+	type verdict struct {
+		ranks   int
+		speedup float64
+	}
+	var checks []verdict
+	for _, ranks := range rankSweep {
+		for _, compressed := range []bool{false, true} {
+			flat, err := run(ranks, false, compressed)
+			if err != nil {
+				return nil, fmt.Errorf("ranks %d flat: %w", ranks, err)
+			}
+			hier, err := run(ranks, true, compressed)
+			if err != nil {
+				return nil, fmt.Errorf("ranks %d hierarchical: %w", ranks, err)
+			}
+			e2e := float64(flat.total) / float64(hier.total)
+			comm := float64(flat.a2a) / float64(hier.a2a)
+			intraShare := 0.0
+			if hier.a2a > 0 {
+				intraShare = float64(hier.intra) / float64(hier.a2a)
+			}
+			name := "none"
+			crCell := "-"
+			if compressed {
+				name = "hybrid"
+				crCell = fmt.Sprintf("%.1f", hier.cr)
+				checks = append(checks, verdict{ranks, e2e})
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", ranks),
+				fmt.Sprintf("%d", (ranks+ranksPerNode-1)/ranksPerNode),
+				name,
+				crCell,
+				flat.total.Round(time.Microsecond).String(),
+				hier.total.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2fx", e2e),
+				fmt.Sprintf("%.2fx", comm),
+				fmt.Sprintf("%.1f%%", 100*intraShare),
+			})
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "strong scaling sweep, global batch %d, %d steps/run, %d ranks/node, eb %v\n",
+		batch, steps, ranksPerNode, eb)
+	sb.WriteString("flat = single α-β link, direct all-to-all; hier = two-level topology, two-phase all-to-all\n\n")
+	sb.WriteString(table(
+		[]string{"ranks", "nodes", "codec", "CR", "flat-e2e", "hier-e2e", "e2e-speedup", "a2a-speedup", "hier-intra-share"},
+		rows))
+	// The paper-shape claim this sweep guards: once compression shrinks
+	// payloads toward the latency floor, staging through node leaders pays
+	// off at scale.
+	ok := true
+	for _, c := range checks {
+		if c.ranks >= 32 && c.speedup < 0.999 {
+			ok = false
+			fmt.Fprintf(&sb, "\nviolation: hybrid at %d ranks: hierarchical slower than flat (%.3fx)", c.ranks, c.speedup)
+		}
+	}
+	if ok {
+		sb.WriteString("\ncheck: hierarchical >= flat end-to-end at 32+ ranks with the hybrid codec: PASS\n")
+	} else {
+		sb.WriteString("\ncheck: hierarchical >= flat end-to-end at 32+ ranks with the hybrid codec: FAIL\n")
+	}
+	return &Result{ID: "scaling", Title: "Topology scaling: flat vs hierarchical all-to-all, 4→128 ranks", Text: sb.String()}, nil
+}

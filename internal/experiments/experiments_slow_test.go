@@ -63,3 +63,22 @@ func TestFig12EndToEnd(t *testing.T) {
 		t.Fatalf("fig12 text:\n%s", res.Text)
 	}
 }
+
+// TestScalingSweep guards the scale claim of the topology refactor: the
+// hierarchical two-phase all-to-all must be at least as fast as the flat
+// model end-to-end at 32+ ranks once the hybrid codec shrinks payloads, and
+// the sweep must cover the full 4→128 range.
+func TestScalingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "scaling")
+	for _, tok := range []string{"ranks", "hier-intra-share", "4", "128"} {
+		if !strings.Contains(res.Text, tok) {
+			t.Fatalf("scaling missing %q:\n%s", tok, res.Text)
+		}
+	}
+	if !strings.Contains(res.Text, "hybrid codec: PASS") {
+		t.Fatalf("hierarchical-vs-flat guarantee violated:\n%s", res.Text)
+	}
+}

@@ -48,7 +48,12 @@ func log2ceil(n int) int {
 // AllToAllTime models one all-to-all step: every rank sends sendBytes[r]
 // in total (across all peers). The step completes when the busiest rank
 // finishes. Peers are posted in parallel (as NCCL does), so the latency
-// floor grows logarithmically with the rank count rather than linearly.
+// floor grows logarithmically with the rank count rather than linearly:
+// (1 + ceil(log2 ranks)) × Latency on top of the wire time.
+//
+// ranks <= 1 returns 0 by design, not omission: a single rank has no peers,
+// so the collective is a no-op — the degenerate case the 1-rank parity
+// baselines rely on. sendBytes is not inspected (it may be nil).
 func (n Network) AllToAllTime(ranks int, sendBytes []int64) time.Duration {
 	if ranks <= 1 {
 		return 0
@@ -67,8 +72,10 @@ func (n Network) AllToAllTime(ranks int, sendBytes []int64) time.Duration {
 }
 
 // MetadataTime models the size-exchange preceding a variable-size
-// all-to-all: 8 bytes per peer, posted in parallel and overlapped with the
-// tail of compression, so it costs one latency plus its wire time.
+// all-to-all: bytesPerPair bytes per peer, posted in parallel and
+// overlapped with the tail of compression, so it costs one latency plus
+// its wire time. ranks <= 1 returns 0: with no peers there are no sizes to
+// exchange.
 func (n Network) MetadataTime(ranks int, bytesPerPair int64) time.Duration {
 	if ranks <= 1 {
 		return 0
@@ -78,7 +85,7 @@ func (n Network) MetadataTime(ranks int, bytesPerPair int64) time.Duration {
 }
 
 // UniformAllToAllTime is AllToAllTime with every rank sending the same
-// number of bytes.
+// number of bytes. ranks <= 1 returns 0 (no peers, no exchange).
 func (n Network) UniformAllToAllTime(ranks int, bytesPerRank int64) time.Duration {
 	if ranks <= 1 {
 		return 0
@@ -91,7 +98,9 @@ func (n Network) UniformAllToAllTime(ranks int, bytesPerRank int64) time.Duratio
 }
 
 // AllReduceTime models a hierarchical (tree/ring hybrid) allreduce of bytes
-// payload per rank.
+// payload per rank: 2(ranks-1)/ranks × bytes of wire traffic plus a
+// 2·ceil(log2 ranks) latency floor. ranks <= 1 returns 0: a lone rank
+// already holds the global sum.
 func (n Network) AllReduceTime(ranks int, bytes int64) time.Duration {
 	if ranks <= 1 {
 		return 0

@@ -28,10 +28,80 @@ func TestAllToAllBottleneckRank(t *testing.T) {
 	}
 }
 
-func TestAllToAllDegenerate(t *testing.T) {
+// TestDegenerateRankCounts pins the documented contract that every
+// collective is a free no-op for ranks <= 1, across all primitives, with
+// sendBytes deliberately nil where the signature allows it.
+func TestDegenerateRankCounts(t *testing.T) {
 	n := Slingshot10()
-	if n.UniformAllToAllTime(1, 1<<30) != 0 {
-		t.Fatal("single rank needs no communication")
+	for _, ranks := range []int{0, 1} {
+		if got := n.AllToAllTime(ranks, nil); got != 0 {
+			t.Fatalf("AllToAllTime(%d) = %v, want 0", ranks, got)
+		}
+		if got := n.UniformAllToAllTime(ranks, 1<<30); got != 0 {
+			t.Fatalf("UniformAllToAllTime(%d) = %v, want 0", ranks, got)
+		}
+		if got := n.MetadataTime(ranks, 8); got != 0 {
+			t.Fatalf("MetadataTime(%d) = %v, want 0", ranks, got)
+		}
+		if got := n.AllReduceTime(ranks, 1<<30); got != 0 {
+			t.Fatalf("AllReduceTime(%d) = %v, want 0", ranks, got)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {7, 3}, {8, 3},
+		{9, 4}, {16, 4}, {17, 5}, {32, 5}, {33, 6}, {128, 7}, {129, 8},
+	}
+	for _, c := range cases {
+		if got := log2ceil(c.n); got != c.want {
+			t.Errorf("log2ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestLatencyFloorTable pins the all-to-all latency floor: with zero-byte
+// payloads the cost is exactly (1 + ceil(log2 ranks)) latencies, the
+// parallel-posting model NCCL-style collectives follow.
+func TestLatencyFloorTable(t *testing.T) {
+	n := Network{AllToAllBandwidth: 1e9, AllReduceBandwidth: 1e9, Latency: time.Microsecond}
+	for _, c := range []struct {
+		ranks int
+		want  time.Duration
+	}{
+		{2, 2 * time.Microsecond},
+		{3, 3 * time.Microsecond},
+		{4, 3 * time.Microsecond},
+		{8, 4 * time.Microsecond},
+		{9, 5 * time.Microsecond},
+		{32, 6 * time.Microsecond},
+		{128, 8 * time.Microsecond},
+	} {
+		if got := n.UniformAllToAllTime(c.ranks, 0); got != c.want {
+			t.Errorf("latency floor at %d ranks = %v, want %v", c.ranks, got, c.want)
+		}
+	}
+}
+
+// TestBusiestRankTable pins the busiest-rank completion semantics: the step
+// costs the maximum per-rank send volume, regardless of how the remaining
+// volume is distributed.
+func TestBusiestRankTable(t *testing.T) {
+	n := Network{AllToAllBandwidth: 1e9, Latency: 0}
+	for _, c := range []struct {
+		name  string
+		sends []int64
+		want  time.Duration
+	}{
+		{"uniform", []int64{1e9, 1e9, 1e9, 1e9}, time.Second},
+		{"one-hot", []int64{0, 0, 0, 1e9}, time.Second},
+		{"skewed", []int64{1, 2e9, 3, 4}, 2 * time.Second},
+		{"zero", []int64{0, 0, 0, 0}, 0},
+	} {
+		if got := n.AllToAllTime(len(c.sends), c.sends); got != c.want {
+			t.Errorf("%s: AllToAllTime = %v, want %v", c.name, got, c.want)
+		}
 	}
 }
 

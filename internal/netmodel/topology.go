@@ -1,0 +1,331 @@
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology abstracts the interconnect the simulated cluster charges its
+// collectives against. The flat Network is one implementation (a single
+// α-β link, no node structure); Hierarchical models the paper's testbed
+// shape — nodes of NVLink-connected GPUs joined by a per-node NIC — and
+// attributes time separately to the intra-node and inter-node links.
+//
+// All cost methods are pure functions of payload sizes: the cluster
+// exchanges real bytes through shared memory and only the clock is modelled,
+// so swapping topologies never changes training math.
+type Topology interface {
+	// Name identifies the topology in logs and experiment tables.
+	Name() string
+	// NodeOf returns the node index housing a rank (always 0 when flat).
+	NodeOf(rank int) int
+	// Nodes returns how many nodes a cluster of the given rank count spans
+	// (always 1 when flat).
+	Nodes(ranks int) int
+	// AllToAllCost models one direct (single-phase) all-to-all over the
+	// pairwise payload matrix bytes[from][to]; the diagonal is ignored.
+	// A 0- or 1-rank matrix costs zero: with no peers the collective is a
+	// no-op.
+	AllToAllCost(bytes [][]int64) LinkCost
+	// TwoPhaseAllToAllCost models the hierarchical two-phase algorithm
+	// over the same matrix: same-node pairs exchange over the fast link
+	// while cross-node payloads are gathered at each node leader, traded
+	// leader-to-leader over the slow link, and scattered locally. Flat
+	// topologies (and single-node clusters) fall back to AllToAllCost.
+	TwoPhaseAllToAllCost(bytes [][]int64) LinkCost
+	// MetadataCost models the size exchange preceding a variable-size
+	// all-to-all (stage ② of the paper's protocol). Zero for ranks <= 1.
+	MetadataCost(ranks int, bytesPerPair int64) LinkCost
+	// AllReduceTime models a dense-gradient allreduce of bytes payload per
+	// rank. Zero for ranks <= 1.
+	AllReduceTime(ranks int, bytes int64) time.Duration
+}
+
+// LinkCost attributes a collective's simulated time to the two link classes
+// of a hierarchical machine. Flat topologies report everything under Inter
+// (the single wire); single-node hierarchical clusters report everything
+// under Intra.
+type LinkCost struct {
+	Intra time.Duration
+	Inter time.Duration
+}
+
+// Total is the end-to-end duration of the collective. Phases are charged
+// serially (no intra/inter overlap is modelled), which is conservative for
+// the hierarchical algorithm.
+func (c LinkCost) Total() time.Duration { return c.Intra + c.Inter }
+
+// Add sums two costs per link.
+func (c LinkCost) Add(o LinkCost) LinkCost {
+	return LinkCost{Intra: c.Intra + o.Intra, Inter: c.Inter + o.Inter}
+}
+
+// --- flat Network as a Topology ---------------------------------------------
+
+// Name implements Topology.
+func (n Network) Name() string { return "flat" }
+
+// NodeOf implements Topology: a flat network is one node.
+func (n Network) NodeOf(int) int { return 0 }
+
+// Nodes implements Topology: a flat network is one node.
+func (n Network) Nodes(int) int { return 1 }
+
+// AllToAllCost implements Topology over the single flat link; the whole
+// cost is attributed to Inter (the wire).
+func (n Network) AllToAllCost(bytes [][]int64) LinkCost {
+	ranks := len(bytes)
+	if ranks <= 1 {
+		return LinkCost{}
+	}
+	sends := make([]int64, ranks)
+	for from, row := range bytes {
+		var total int64
+		for to, b := range row {
+			if to != from {
+				total += b
+			}
+		}
+		sends[from] = total
+	}
+	return LinkCost{Inter: n.AllToAllTime(ranks, sends)}
+}
+
+// TwoPhaseAllToAllCost implements Topology: with no node structure the
+// two-phase algorithm degenerates to the direct exchange.
+func (n Network) TwoPhaseAllToAllCost(bytes [][]int64) LinkCost {
+	return n.AllToAllCost(bytes)
+}
+
+// MetadataCost implements Topology.
+func (n Network) MetadataCost(ranks int, bytesPerPair int64) LinkCost {
+	return LinkCost{Inter: n.MetadataTime(ranks, bytesPerPair)}
+}
+
+// --- hierarchical two-level topology ----------------------------------------
+
+// Link is one α-β link class of a hierarchical machine.
+type Link struct {
+	// Bandwidth in bytes/s. For the intra-node link this is per rank (each
+	// GPU has its own NVLink ports); for the inter-node link it is per node
+	// (all of a node's ranks share the NIC).
+	Bandwidth float64
+	// Latency is the per-message software+wire latency.
+	Latency time.Duration
+}
+
+// Hierarchical is a two-level topology: Nodes of RanksPerNode ranks each,
+// an NVLink-class Intra link inside a node and a NIC-class Inter link
+// between nodes. Ranks are assigned to nodes contiguously (rank r lives on
+// node r/RanksPerNode), matching how MPI ranks map onto the paper's 8-node
+// × 4-A100 testbed.
+type Hierarchical struct {
+	// RanksPerNode is the node width; values < 1 are treated as 1.
+	RanksPerNode int
+	// Intra is the per-rank link between GPUs of one node.
+	Intra Link
+	// Inter is the per-node link between nodes.
+	Inter Link
+	// AllReduceBandwidth is the effective hierarchical (NVLink+ring)
+	// allreduce bandwidth in bytes/s for dense gradients.
+	AllReduceBandwidth float64
+}
+
+// PaperHierarchical returns the two-level model of the paper's cluster
+// (§IV-A): NVLink inside a node, Slingshot-10 between nodes. The inter-node
+// NIC bandwidth is ranksPerNode × 4 GB/s so the per-rank effective all-to-all
+// bandwidth matches the flat Slingshot10() calibration, making flat-vs-
+// hierarchical sweeps an apples-to-apples comparison. ranksPerNode <= 0
+// selects the testbed's 4 GPUs per node.
+func PaperHierarchical(ranksPerNode int) Hierarchical {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 4
+	}
+	return Hierarchical{
+		RanksPerNode:       ranksPerNode,
+		Intra:              Link{Bandwidth: 150e9, Latency: 300 * time.Nanosecond},
+		Inter:              Link{Bandwidth: 4e9 * float64(ranksPerNode), Latency: 2 * time.Microsecond},
+		AllReduceBandwidth: 60e9,
+	}
+}
+
+func (h Hierarchical) rpn() int {
+	if h.RanksPerNode < 1 {
+		return 1
+	}
+	return h.RanksPerNode
+}
+
+// Name implements Topology.
+func (h Hierarchical) Name() string { return "hierarchical" }
+
+// NodeOf implements Topology: contiguous rank-to-node assignment.
+func (h Hierarchical) NodeOf(rank int) int { return rank / h.rpn() }
+
+// Nodes implements Topology.
+func (h Hierarchical) Nodes(ranks int) int {
+	if ranks <= 0 {
+		return 1
+	}
+	return (ranks + h.rpn() - 1) / h.rpn()
+}
+
+// AllToAllCost implements Topology for the direct (single-phase) algorithm:
+// every rank posts to every peer, same-node pairs over the fast per-rank
+// link and cross-node pairs through the shared per-node NIC. Intra cost is
+// bounded by the busiest rank's local traffic, inter cost by the busiest
+// node's aggregate cross-node traffic. The inter latency floor grows with
+// log2(ranks) because every rank posts to every remote peer.
+func (h Hierarchical) AllToAllCost(bytes [][]int64) LinkCost {
+	ranks := len(bytes)
+	if ranks <= 1 {
+		return LinkCost{}
+	}
+	h.checkSquare(bytes)
+	nodes := h.Nodes(ranks)
+	var maxIntra int64
+	nodeOut := make([]int64, nodes)
+	for from, row := range bytes {
+		var intra int64
+		for to, b := range row {
+			if to == from {
+				continue
+			}
+			if h.NodeOf(to) == h.NodeOf(from) {
+				intra += b
+			} else {
+				nodeOut[h.NodeOf(from)] += b
+			}
+		}
+		if intra > maxIntra {
+			maxIntra = intra
+		}
+	}
+	var cost LinkCost
+	if width := min(h.rpn(), ranks); width > 1 {
+		cost.Intra = wireTime(maxIntra, h.Intra.Bandwidth) +
+			time.Duration(1+log2ceil(width))*h.Intra.Latency
+	}
+	if nodes > 1 {
+		cost.Inter = wireTime(maxInt64s(nodeOut), h.Inter.Bandwidth) +
+			time.Duration(1+log2ceil(ranks))*h.Inter.Latency
+	}
+	return cost
+}
+
+// TwoPhaseAllToAllCost implements Topology for the hierarchical algorithm:
+//
+//	phase 1 (intra): same-node pairs exchange directly while each node
+//	  leader drains its node's outbound cross-node bytes over the fast link;
+//	phase 2 (inter): leaders exchange node-to-node bundles over the NIC,
+//	  posting to only nodes-1 peers, so the slow-link latency floor grows
+//	  with log2(nodes) instead of log2(ranks);
+//	phase 3 (intra): leaders scatter inbound bundles to their local ranks.
+//
+// The bandwidth through the NIC is identical to the direct algorithm (the
+// same aggregate crosses it); the win is fewer and larger slow-link
+// messages, paid for with the staging traffic of phases 1 and 3.
+func (h Hierarchical) TwoPhaseAllToAllCost(bytes [][]int64) LinkCost {
+	ranks := len(bytes)
+	if ranks <= 1 {
+		return LinkCost{}
+	}
+	nodes := h.Nodes(ranks)
+	if nodes <= 1 {
+		return h.AllToAllCost(bytes) // pure intra: nothing to stage
+	}
+	h.checkSquare(bytes)
+	var maxLocal int64
+	nodeOut := make([]int64, nodes)
+	nodeIn := make([]int64, nodes)
+	for from, row := range bytes {
+		var local int64
+		for to, b := range row {
+			if to == from {
+				continue
+			}
+			if h.NodeOf(to) == h.NodeOf(from) {
+				local += b
+				continue
+			}
+			nodeOut[h.NodeOf(from)] += b
+			nodeIn[h.NodeOf(to)] += b
+		}
+		if local > maxLocal {
+			maxLocal = local
+		}
+	}
+	maxOut := maxInt64s(nodeOut)
+	var cost LinkCost
+	if width := min(h.rpn(), ranks); width > 1 {
+		intraBytes := maxLocal + maxOut + maxInt64s(nodeIn)
+		cost.Intra = wireTime(intraBytes, h.Intra.Bandwidth) +
+			time.Duration(2*(1+log2ceil(width)))*h.Intra.Latency
+	}
+	cost.Inter = wireTime(maxOut, h.Inter.Bandwidth) +
+		time.Duration(1+log2ceil(nodes))*h.Inter.Latency
+	return cost
+}
+
+// MetadataCost implements Topology: the size exchange runs once per link
+// class — local peers swap their per-pair sizes over the fast link and node
+// leaders swap bundle sizes over the NIC — each costing one latency plus
+// wire time, as in the flat model.
+func (h Hierarchical) MetadataCost(ranks int, bytesPerPair int64) LinkCost {
+	if ranks <= 1 {
+		return LinkCost{}
+	}
+	nodes := h.Nodes(ranks)
+	var cost LinkCost
+	if width := min(h.rpn(), ranks); width > 1 {
+		cost.Intra = wireTime(bytesPerPair*int64(width-1), h.Intra.Bandwidth) + h.Intra.Latency
+	}
+	if nodes > 1 {
+		cost.Inter = wireTime(bytesPerPair*int64(nodes-1), h.Inter.Bandwidth) + h.Inter.Latency
+	}
+	return cost
+}
+
+// AllReduceTime implements Topology with the same 2(N-1)/N ring factor as
+// the flat model, at the calibrated hierarchical allreduce bandwidth.
+// Zero for ranks <= 1: a lone rank already holds the global sum.
+func (h Hierarchical) AllReduceTime(ranks int, bytes int64) time.Duration {
+	if ranks <= 1 {
+		return 0
+	}
+	factor := 2 * float64(ranks-1) / float64(ranks)
+	wire := time.Duration(factor * float64(bytes) / h.AllReduceBandwidth * float64(time.Second))
+	return wire + time.Duration(2*log2ceil(ranks))*h.Inter.Latency
+}
+
+func (h Hierarchical) checkSquare(bytes [][]int64) {
+	for from, row := range bytes {
+		if len(row) != len(bytes) {
+			panic(fmt.Sprintf("netmodel: pairwise matrix row %d has %d entries for %d ranks",
+				from, len(row), len(bytes)))
+		}
+	}
+}
+
+func wireTime(bytes int64, bandwidth float64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bandwidth * float64(time.Second))
+}
+
+func maxInt64s(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Interface conformance: both models are pluggable topologies.
+var (
+	_ Topology = Network{}
+	_ Topology = Hierarchical{}
+)
