@@ -56,6 +56,7 @@ func BenchmarkTable04_HomoIndexTerabyte(b *testing.B)  { benchExperiment(b, "tab
 func BenchmarkTable05_PerTableCR(b *testing.B)         { benchExperiment(b, "table5") }
 func BenchmarkTable06_WindowSweep(b *testing.B)        { benchExperiment(b, "table6") }
 func BenchmarkScaling_RankSweep(b *testing.B)          { benchExperiment(b, "scaling") }
+func BenchmarkOverlap_Sweep(b *testing.B)              { benchExperiment(b, "overlap") }
 
 // --- codec throughput benchmarks (the GB/s columns of Fig. 11) --------------
 
@@ -274,6 +275,51 @@ func BenchmarkAblation_WindowThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Ablation 6: the comm/compute overlap engine. One trainer is driven with
+// the pipelined schedule; the serial cost of the same steps is its
+// baseline, so the reported speedup tracks exactly what BENCH_ci.json
+// needs: the modelled e2e win of overlapping the forward all-to-all of
+// batch k+1 with the MLP of batch k. Reported for the paper's 8-node × 4-
+// GPU shape with the hybrid codec (math is identical either way, so the
+// metric is a pure schedule property).
+func BenchmarkAblation_OverlappedVsSyncStep(b *testing.B) {
+	spec := criteo.ScaledSpec(criteo.TerabyteSpec(), 4000)
+	cfg := dlrmcomp.ModelConfig{
+		DenseFeatures:     spec.DenseFeatures,
+		EmbeddingDim:      16,
+		TableSizes:        spec.Cardinalities,
+		InitCardinalities: spec.FullCardinalities,
+		BottomMLP:         []int{128, 64},
+		TopMLP:            []int{128, 64},
+		Seed:              spec.Seed + 7,
+	}
+	var overlapSpeedup, recovered float64
+	for i := 0; i < b.N; i++ {
+		tr, err := dlrmcomp.NewTrainer(dlrmcomp.TrainerOptions{
+			Ranks:              32,
+			Model:              cfg,
+			Net:                dlrmcomp.PaperHierarchical(4),
+			Device:             netmodel.Device{FLOPS: 3e12, MemBandwidth: 1.3e12},
+			OtherComputeFactor: 0.8,
+			CodecFor: func(int) dlrmcomp.Codec {
+				return dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeAuto)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := criteo.NewGenerator(spec)
+		if _, err := tr.RunPipelined(2, func(int) *dlrmcomp.Batch { return gen.NextBatch(256) }); err != nil {
+			b.Fatal(err)
+		}
+		serial, over := tr.SerialSimTime(), tr.OverlappedSimTime()
+		overlapSpeedup = float64(serial) / float64(over)
+		recovered = float64(serial-over) / float64(serial)
+	}
+	b.ReportMetric(overlapSpeedup, "overlap-speedup")
+	b.ReportMetric(100*recovered, "e2e-recovered-%")
 }
 
 // Eq. (2) selection as a micro-benchmark: how expensive is the offline pass.

@@ -9,12 +9,14 @@
 //	dlrmtrain -dataset terabyte -ranks 32 -codec none          # baseline
 //	dlrmtrain -codec hybrid -adaptive                          # dual-level adaptive
 //	dlrmtrain -topology hier -nodes 8 -ranks-per-node 4        # paper testbed shape
+//	dlrmtrain -topology hier -nodes 8 -overlap                 # comm/compute overlap
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dlrmcomp/internal/adapt"
 	"dlrmcomp/internal/codec"
@@ -41,6 +43,7 @@ func main() {
 	scale := flag.Int("scale", 400, "cardinality scale-down factor")
 	dim := flag.Int("dim", 16, "embedding dimension")
 	codecName := flag.String("codec", "hybrid", "none|hybrid|vector|huffman|fp16|fp8|cusz|fzgpu|lz4|deflate")
+	overlap := flag.Bool("overlap", false, "pipeline the forward all-to-all of batch k+1 behind the MLP compute of batch k (same math, overlapped clock)")
 	eb := flag.Float64("eb", 0.02, "error bound for lossy codecs")
 	adaptive := flag.Bool("adaptive", false, "enable dual-level adaptive error bounds")
 	phase := flag.Int("phase", 0, "decay phase length (0 = steps/2)")
@@ -132,13 +135,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("topology %s: %d ranks across %d node(s)\n", net.Name(), *ranks, net.Nodes(*ranks))
-	for i := 0; i < *steps; i++ {
-		loss, err := tr.Step(gen.NextBatch(*batch))
+	emitLoss := func(i int, loss float32) {
+		if i%10 == 0 || i == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f\n", i, loss)
+		}
+	}
+	if *overlap {
+		losses, err := tr.RunPipelined(*steps, func(int) *criteo.Batch { return gen.NextBatch(*batch) })
 		if err != nil {
 			fatal(err)
 		}
-		if i%10 == 0 || i == *steps-1 {
-			fmt.Printf("step %4d  loss %.4f\n", i, loss)
+		for i, loss := range losses {
+			emitLoss(i, loss)
+		}
+	} else {
+		for i := 0; i < *steps; i++ {
+			loss, err := tr.Step(gen.NextBatch(*batch))
+			if err != nil {
+				fatal(err)
+			}
+			emitLoss(i, loss)
 		}
 	}
 	acc, logloss := tr.Evaluate(gen.NextBatch(*evalN))
@@ -147,6 +163,12 @@ func main() {
 		fmt.Printf("forward all-to-all compression ratio: %.2fx\n", tr.CompressionRatio())
 	}
 	fmt.Printf("\nsimulated time breakdown:\n%s", profileutil.Breakdown(tr.Cluster().SimTimes()).String())
+	if *overlap {
+		serial, over := tr.SerialSimTime(), tr.OverlappedSimTime()
+		fmt.Printf("\ncomm/compute overlap: synchronous %v -> overlapped %v (%.2fx, %.1f%% of e2e recovered)\n",
+			serial.Round(time.Microsecond), over.Round(time.Microsecond),
+			float64(serial)/float64(over), 100*float64(serial-over)/float64(serial))
+	}
 }
 
 func codecFactory(name string, eb float32) func() codec.Codec {

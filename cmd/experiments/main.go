@@ -2,11 +2,17 @@
 //
 // Usage:
 //
-//	experiments -list
+//	experiments                     # print the experiment table
+//	experiments -list               # IDs only
+//	experiments -design             # markdown index block for DESIGN.md
 //	experiments -run fig11          # one experiment
 //	experiments scaling             # positional form of -run
 //	experiments -run all            # everything, in order
 //	experiments -run fig12 -full    # paper-scale workloads (slower)
+//
+// The experiment table printed with no arguments and the index embedded in
+// DESIGN.md both come from the same registry (internal/experiments), so
+// they cannot drift; a test pins DESIGN.md to `experiments -design` output.
 package main
 
 import (
@@ -20,16 +26,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	design := flag.Bool("design", false, "print the DESIGN.md experiment-index markdown and exit")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	full := flag.Bool("full", false, "use paper-scale workloads instead of quick mode")
 	flag.Parse()
 
-	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
-		}
-		return
-	}
 	if *run == "" && flag.NArg() > 0 {
 		// `experiments scaling [-full]` == `experiments -run scaling [-full]`:
 		// flag.Parse stops at the first non-flag argument, so re-parse the
@@ -37,9 +38,21 @@ func main() {
 		*run = flag.Arg(0)
 		flag.CommandLine.Parse(flag.Args()[1:]) // ExitOnError: exits on bad flags
 	}
+	// Mode flags are honored wherever they appear, including after a
+	// positional id (`experiments scaling -list` lists, it doesn't run).
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *design {
+		fmt.Print(experiments.IndexMarkdown())
+		return
+	}
 	if *run == "" {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-run] <id>|all [-full] | -list")
-		os.Exit(2)
+		printIndex()
+		return
 	}
 	opts := experiments.Options{Quick: !*full}
 
@@ -63,4 +76,21 @@ func main() {
 		os.Exit(1)
 	}
 	emit(res)
+}
+
+// printIndex renders the registry as an aligned table, the no-argument
+// default so the tool is self-describing.
+func printIndex() {
+	idx := experiments.Index()
+	width := len("ID")
+	for _, e := range idx {
+		if len(e.ID) > width {
+			width = len(e.ID)
+		}
+	}
+	fmt.Printf("%-*s  %s\n", width, "ID", "Reproduces")
+	for _, e := range idx {
+		fmt.Printf("%-*s  %s\n", width, e.ID, e.Title)
+	}
+	fmt.Printf("\nrun one with: experiments <id> (add -full for paper-scale workloads), or -run all\n")
 }

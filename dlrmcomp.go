@@ -11,7 +11,10 @@
 //     and classification (OfflineAnalysis) and the iteration-wise decay
 //     controller (NewController);
 //   - the hybrid-parallel DLRM trainer on the simulated multi-GPU cluster
-//     (NewTrainer), whose forward all-to-all the codecs accelerate;
+//     (NewTrainer), whose forward all-to-all the codecs accelerate — with
+//     both the synchronous schedule (Trainer.Step) and the comm/compute
+//     overlap schedule (Trainer.RunPipelined, bit-identical math with the
+//     next batch's all-to-all hidden under the current batch's MLP);
 //   - the experiment drivers regenerating every table and figure of the
 //     paper's evaluation (RunExperiment, ExperimentIDs).
 //
@@ -176,7 +179,18 @@ type (
 	// of the paper's testbed; the trainer pairs it with the two-phase
 	// all-to-all and splits all-to-all buckets per link.
 	Hierarchical = netmodel.Hierarchical
+	// LinkCost attributes a collective's simulated time to the intra- and
+	// inter-node link classes of a hierarchical machine.
+	LinkCost = netmodel.LinkCost
+	// Timeline is the per-link occupancy clock behind the comm/compute
+	// overlap engine: reservations on different links overlap, contenders
+	// for one link serialize. Trainer.RunPipelined uses one internally;
+	// it is exported for custom schedule studies.
+	Timeline = netmodel.Timeline
 )
+
+// NewTimeline returns an empty per-link occupancy timeline.
+func NewTimeline() *Timeline { return netmodel.NewTimeline() }
 
 // NewModel builds a single-process DLRM.
 func NewModel(cfg ModelConfig) (*DLRM, error) { return model.New(cfg) }

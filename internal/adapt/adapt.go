@@ -1,17 +1,3 @@
-// Package adapt implements the paper's dual-level adaptive error-bound
-// strategy (§III-C, Algorithm 1):
-//
-//   - Table-wise: each embedding table is classified by its Homogenization
-//     Index (Eq. 1) into Large / Medium / Small error-bound classes, so that
-//     tables whose vectors collapse heavily under quantization get tighter
-//     bounds and insensitive tables get looser ones.
-//   - Iteration-wise: during the initial training phase the error bound
-//     starts at a multiple of its base value and decays to the base via a
-//     configurable decay function (stepwise by default, per Fig. 5), then
-//     stays constant for the rest of training.
-//
-// The offline analysis driver also runs Algorithm 2 (compressor selection by
-// the Eq. 2 speed-up model) per table.
 package adapt
 
 import (

@@ -1,11 +1,3 @@
-// Package benchfmt parses the text output of `go test -bench` into a
-// machine-readable report, so CI can archive every run as a JSON artifact
-// (BENCH_ci.json) and the perf trajectory of the reproduction is tracked
-// per PR. Only the standard benchmark line grammar is recognised:
-//
-//	BenchmarkName-8   	  1000	 1234 ns/op	 56 B/op	 2 allocs/op	 3.14 custom-metric
-//
-// plus the goos/goarch/pkg/cpu header lines the test binary prints.
 package benchfmt
 
 import (

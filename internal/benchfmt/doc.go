@@ -1,0 +1,16 @@
+// Package benchfmt parses the text output of `go test -bench` into a
+// machine-readable report, so CI can archive every run as a JSON artifact
+// (BENCH_ci.json) and the perf trajectory of the reproduction is tracked
+// per PR. Only the standard benchmark line grammar is recognised:
+//
+//	BenchmarkName-8   	  1000	 1234 ns/op	 56 B/op	 2 allocs/op	 3.14 custom-metric
+//
+// plus the goos/goarch/pkg/cpu header lines the test binary prints.
+//
+// Layer: tooling sidecar — nothing in the simulation imports it; only
+// cmd/benchjson (the CI bench job's converter) does.
+//
+// Key types: Report (header fields + all parsed lines) and Result (one
+// line: name, iterations, ns/op, allocations, and every custom metric the
+// harness emitted, e.g. the overlap speedup or ablation ratios).
+package benchfmt

@@ -1,18 +1,3 @@
-// Package buffopt implements the paper's buffer optimization (§III-E,
-// Fig. 7): instead of launching one compression kernel per destination chunk
-// and memcpy-ing each output into the send buffer, all chunks are compressed
-// by a single batched launch that reserves its output span with an atomic
-// offset counter and writes directly into the send buffer; decompression
-// runs the per-chunk kernels concurrently.
-//
-// Two artifacts live here:
-//
-//   - BatchCompressor — a real implementation over any codec: goroutines
-//     stand in for kernel blocks, an atomic offset for the GPU atomicAdd.
-//   - LaunchModel — the analytic GPU cost model behind Fig. 15: per-kernel
-//     launch overhead plus a utilization ramp for small chunks, which is
-//     what makes the single-launch design up to ~2× faster on many small
-//     chunks and nearly neutral on few huge ones.
 package buffopt
 
 import (

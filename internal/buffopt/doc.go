@@ -1,0 +1,26 @@
+// Package buffopt implements the paper's buffer optimization (§III-E,
+// Fig. 7): instead of launching one compression kernel per destination chunk
+// and memcpy-ing each output into the send buffer, all chunks are compressed
+// by a single batched launch that reserves its output span with an atomic
+// offset counter and writes directly into the send buffer; decompression
+// runs the per-chunk kernels concurrently.
+//
+// Two artifacts live here:
+//
+//   - CompressBatch/DecompressBatch — a real implementation over any codec:
+//     goroutines stand in for kernel blocks, an atomic offset for the GPU
+//     atomicAdd.
+//   - LaunchModel — the analytic GPU cost model behind Fig. 15: per-kernel
+//     launch overhead plus a utilization ramp for small chunks, which is
+//     what makes the single-launch design up to ~2× faster on many small
+//     chunks and nearly neutral on few huge ones.
+//
+// Layer: an optimization study on top of internal/codec, driven by the
+// fig15 experiment and exported through the facade (dlrmcomp.CompressBatch).
+// It charges no sim-time buckets; its timings are real wall-clock
+// measurements of the Go implementation plus the analytic LaunchModel.
+//
+// Key types: Chunk (one tensor in a batched call), BatchResult (contiguous
+// compressed buffer + chunk directory), LaunchModel (launch-overhead
+// roofline; DefaultLaunchModel returns the calibrated instance).
+package buffopt

@@ -1,21 +1,3 @@
-// Package cluster provides the simulated multi-GPU runtime that stands in
-// for the paper's NCCL process group: N ranks run as goroutines, exchange
-// real data through shared-memory collectives (AllToAll, variable-size
-// AllToAllV with the paper's two-phase metadata+payload protocol from
-// §III-A, and AllReduce), and every collective charges simulated wall time
-// to a labelled accounting bucket via a pluggable netmodel.Topology.
-//
-// Collectives select an all-to-all algorithm per call: the direct exchange
-// (every rank posts to every peer) or the hierarchical two-phase algorithm
-// (same-node pairs over the fast link, cross-node payloads staged through
-// node leaders over the slow link — see twophase.go). Under a topology that
-// spans multiple nodes, all-to-all time is attributed to separate
-// "<label>-intra" and "<label>-inter" buckets; flat topologies keep the
-// single "<label>" bucket.
-//
-// Training math executed on top of this runtime is real — only the clock is
-// modelled — so accuracy experiments and timing experiments share one code
-// path, and the two all-to-all algorithms deliver bit-identical payloads.
 package cluster
 
 import (
@@ -57,10 +39,13 @@ type Cluster struct {
 
 	bar *barrier
 
-	mu        sync.Mutex
-	boxes     [][][]byte // boxes[from][to]
-	reduceBuf []float32
-	simTime   map[string]time.Duration
+	mu sync.Mutex
+	// boxes[from][to] are the all-to-all mailboxes; reduceParts[rank] holds
+	// each rank's allreduce contribution so every rank can reduce in rank
+	// order — bitwise-deterministic regardless of goroutine scheduling.
+	boxes       [][][]byte
+	reduceParts [][]float32
+	simTime     map[string]time.Duration
 
 	// sizes[from][to] stashes the payload matrix of the collective in
 	// flight so rank 0 can charge simulated time from global knowledge.
@@ -218,6 +203,15 @@ func (r *Rank) AllToAll(send [][]byte, variable bool, label string) [][]byte {
 // route cross-node payloads take and therefore in the simulated cost and
 // its intra/inter attribution.
 func (r *Rank) AllToAllV(send [][]byte, variable bool, label string, algo A2AAlgo) [][]byte {
+	return r.IAllToAllV(send, variable, label, algo).Await()
+}
+
+// exchange runs the payload movement of one all-to-all and returns the
+// received buffers plus, on rank 0 only, the collective's simulated cost
+// (including the metadata exchange when variable). No sim time is charged
+// here — the caller decides when the cost lands (immediately for the
+// synchronous collectives, at Await for the nonblocking ones).
+func (r *Rank) exchange(send [][]byte, variable bool, algo A2AAlgo) ([][]byte, netmodel.LinkCost) {
 	c := r.c
 	if len(send) != c.N {
 		panic(fmt.Sprintf("cluster: rank %d sent %d buffers for %d ranks", r.ID, len(send), c.N))
@@ -229,14 +223,14 @@ func (r *Rank) AllToAllV(send [][]byte, variable bool, label string, algo A2AAlg
 		c.sizes[r.ID][to] = int64(len(buf))
 	}
 	if algo != A2ADirect && c.nodes > 1 {
-		return r.twoPhase(send, variable, label)
+		return r.twoPhase(send, variable)
 	}
-	return r.direct(send, variable, label)
+	return r.direct(send, variable)
 }
 
 // direct implements the single-phase exchange: every payload goes straight
 // into its destination's box.
-func (r *Rank) direct(send [][]byte, variable bool, label string) [][]byte {
+func (r *Rank) direct(send [][]byte, variable bool) ([][]byte, netmodel.LinkCost) {
 	c := r.c
 	c.mu.Lock()
 	for to, buf := range send {
@@ -245,14 +239,14 @@ func (r *Rank) direct(send [][]byte, variable bool, label string) [][]byte {
 	c.mu.Unlock()
 	r.Barrier()
 
-	// Rank 0 charges the simulated time once, from global knowledge of
+	// Rank 0 computes the simulated cost once, from global knowledge of
 	// the pairwise payload matrix.
+	var cost netmodel.LinkCost
 	if r.ID == 0 {
-		cost := c.Net.AllToAllCost(c.sizes)
+		cost = c.Net.AllToAllCost(c.sizes)
 		if variable {
 			cost = cost.Add(c.Net.MetadataCost(c.N, MetadataBytesPerPair))
 		}
-		c.chargeA2A(label, cost)
 	}
 
 	recv := make([][]byte, c.N)
@@ -263,40 +257,69 @@ func (r *Rank) direct(send [][]byte, variable bool, label string) [][]byte {
 	c.mu.Unlock()
 	// Second barrier so nobody overwrites boxes before all reads finish.
 	r.Barrier()
-	return recv
+	return recv, cost
 }
 
 // AllReduceSum sums x elementwise across ranks; every rank's x holds the
 // global sum on return.
 func (r *Rank) AllReduceSum(x []float32, label string) {
+	r.IAllReduceSum(x, label).Await()
+}
+
+// reduce runs the data movement of one allreduce (x holds the global sum on
+// return) and returns, on rank 0 only, the collective's simulated cost.
+//
+// The reduction is bitwise deterministic: each rank publishes a snapshot of
+// its contribution, and after the barrier every rank sums the parts in rank
+// order. Floating-point addition is not associative, so an
+// accumulate-on-arrival scheme would make training results depend on
+// goroutine scheduling; rank-order reduction keeps every run — and the
+// synchronous-vs-pipelined driver pair — bit-identical.
+func (r *Rank) reduce(x []float32) time.Duration {
 	c := r.c
 	c.mu.Lock()
-	if c.reduceBuf == nil { // first arriver allocates the zeroed accumulator
-		c.reduceBuf = make([]float32, len(x))
+	if c.reduceParts == nil { // first arriver allocates the slot table
+		c.reduceParts = make([][]float32, c.N)
 	}
-	if len(c.reduceBuf) != len(x) {
-		c.mu.Unlock()
-		panic(fmt.Sprintf("cluster: allreduce length mismatch: %d vs %d", len(c.reduceBuf), len(x)))
-	}
-	for i, v := range x {
-		c.reduceBuf[i] += v
-	}
+	c.reduceParts[r.ID] = x // each rank must pass its own buffer
 	c.mu.Unlock()
 	r.Barrier()
 
+	var cost time.Duration
 	if r.ID == 0 {
-		c.AddSimTime(label, c.Net.AllReduceTime(c.N, int64(len(x)*4)))
+		cost = c.Net.AllReduceTime(c.N, int64(len(x)*4))
+		for rank, part := range c.reduceParts {
+			if len(part) != len(x) {
+				panic(fmt.Sprintf("cluster: allreduce length mismatch: rank %d sent %d elements, rank 0 sent %d",
+					rank, len(part), len(x)))
+			}
+		}
+		// Rank 0 reduces in rank order into its own buffer: deterministic
+		// and O(N·len) total (a fleet-wide reduction would be O(N²·len)).
+		// In-place is safe: element i reads every part — including
+		// parts[0][i], which aliases x[i] — before writing x[i].
+		for i := range x {
+			var sum float32
+			for rank := 0; rank < c.N; rank++ {
+				sum += c.reduceParts[rank][i]
+			}
+			x[i] = sum
+		}
 	}
-	c.mu.Lock()
-	copy(x, c.reduceBuf)
-	c.mu.Unlock()
+	// This barrier publishes rank 0's reduced buffer; the other ranks'
+	// buffers are untouched between their publish and this copy.
+	r.Barrier()
+	if r.ID != 0 {
+		copy(x, c.reduceParts[0])
+	}
 	r.Barrier()
 	if r.ID == 0 {
 		c.mu.Lock()
-		c.reduceBuf = nil
+		c.reduceParts = nil
 		c.mu.Unlock()
 	}
 	r.Barrier()
+	return cost
 }
 
 // barrier is a reusable cyclic barrier.

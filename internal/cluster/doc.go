@@ -1,0 +1,45 @@
+// Package cluster provides the simulated multi-GPU runtime that stands in
+// for the paper's NCCL process group: N ranks run as goroutines, exchange
+// real data through shared-memory collectives, and every collective charges
+// simulated wall time to a labelled accounting bucket via a pluggable
+// netmodel.Topology. Training math executed on top of this runtime is real
+// — only the clock is modelled — so accuracy experiments and timing
+// experiments share one code path.
+//
+// Layer: between internal/netmodel (which prices traffic) and
+// internal/dist (which runs hybrid-parallel training on top of the
+// collectives).
+//
+// Key types:
+//
+//   - Cluster — the process group: rank/node layout, mailboxes, the
+//     sim-time bucket table (SimTime/SimTimes/AddSimTime/ResetSimTime).
+//   - Rank — one simulated device's handle, passed to the function given
+//     to Cluster.Run. Collectives hang off it.
+//   - A2AAlgo — per-collective all-to-all algorithm choice: A2ADirect
+//     posts every payload straight to its destination; A2ATwoPhase stages
+//     cross-node payloads through node leaders (same-node pairs over the
+//     fast link, leader-to-leader bundles over the NIC — see twophase.go);
+//     A2AAuto picks two-phase whenever the topology spans multiple nodes.
+//     The two algorithms deliver bit-identical payloads and differ only in
+//     route, and therefore in cost attribution.
+//   - PendingAllToAll / PendingAllReduce — awaitable handles returned by
+//     the nonblocking collectives IAllToAllV and IAllReduceSum. Data
+//     movement is eager (payloads are delivered before the handle
+//     returns); what Await defers is the simulated clock: the collective's
+//     cost is captured at issue and charged to its bucket only when
+//     awaited, which is what lets an overlap scheduler hide wire time
+//     under modelled compute. Await order is free — collectives may be
+//     issued back to back and awaited out of order.
+//
+// Determinism: the allreduce reduces rank contributions in rank order
+// (not arrival order), so training on this runtime is bitwise
+// reproducible regardless of goroutine scheduling — the property the
+// synchronous-vs-pipelined parity tests in internal/dist rely on.
+//
+// Sim-time buckets: each collective charges the label passed by its
+// caller (the trainer uses "fwd-a2a", "bwd-a2a", "allreduce"). Under a
+// topology spanning multiple nodes, all-to-all time splits into
+// "<label>-intra" / "<label>-inter" per link class; flat and single-node
+// clusters keep the single "<label>" bucket.
+package cluster

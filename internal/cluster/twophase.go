@@ -3,6 +3,8 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+
+	"dlrmcomp/internal/netmodel"
 )
 
 // This file implements the hierarchical two-phase all-to-all. Payloads
@@ -61,11 +63,13 @@ func parseEnvelopes(bundle []byte, fn func(origFrom, origTo int, payload []byte)
 //	phase 3 (intra, fast link): leaders scatter inbound envelopes to their
 //	  final local rank.
 //
-// Rank 0 charges the collective once through Net.TwoPhaseAllToAllCost
-// (plus MetadataCost when variable), split into "<label>-intra" /
-// "<label>-inter" buckets. The staged data movement is real shared-memory
-// routing with four barriers; only the clock is modelled.
-func (r *Rank) twoPhase(send [][]byte, variable bool, label string) [][]byte {
+// Rank 0 computes the collective's cost once through
+// Net.TwoPhaseAllToAllCost (plus MetadataCost when variable) and returns it
+// to the caller, which charges it into "<label>-intra" / "<label>-inter"
+// buckets — immediately for the synchronous path, at Await for the
+// nonblocking one. The staged data movement is real shared-memory routing
+// with four barriers; only the clock is modelled.
+func (r *Rank) twoPhase(send [][]byte, variable bool) ([][]byte, netmodel.LinkCost) {
 	c := r.c
 	me := r.ID
 	myNode := c.nodeOf[me]
@@ -104,12 +108,12 @@ func (r *Rank) twoPhase(send [][]byte, variable bool, label string) [][]byte {
 	c.mu.Unlock()
 	r.Barrier()
 
+	var cost netmodel.LinkCost
 	if me == 0 {
-		cost := c.Net.TwoPhaseAllToAllCost(c.sizes)
+		cost = c.Net.TwoPhaseAllToAllCost(c.sizes)
 		if variable {
 			cost = cost.Add(c.Net.MetadataCost(c.N, MetadataBytesPerPair))
 		}
-		c.chargeA2A(label, cost)
 	}
 
 	// --- phase 1 read: unpack same-node bundles; leaders collect
@@ -192,5 +196,5 @@ func (r *Rank) twoPhase(send [][]byte, variable bool, label string) [][]byte {
 	// Final barrier so nobody starts the next collective (overwriting
 	// boxes) before all reads finish.
 	r.Barrier()
-	return recv
+	return recv, cost
 }

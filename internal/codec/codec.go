@@ -1,7 +1,3 @@
-// Package codec defines the interface every communication compressor in the
-// repository implements — the paper's hybrid compressor, the low-precision
-// baselines, and the SZ/ZFP/LZ4-family comparators. A codec compresses a
-// row-major batch of float32 embedding vectors into a self-contained frame.
 package codec
 
 import "fmt"

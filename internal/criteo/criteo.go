@@ -1,18 +1,3 @@
-// Package criteo generates synthetic click-log workloads that stand in for
-// the Criteo Ad Kaggle and Criteo Terabyte datasets used by the paper
-// (neither is redistributable or downloadable offline).
-//
-// The generator reproduces the properties the paper's compression results
-// depend on:
-//
-//   - 13 continuous features and 26 categorical features per sample;
-//   - the published per-table cardinalities of both datasets (spanning
-//     single digits to tens of millions, Fig. 6);
-//   - heavily unbalanced query frequencies via Zipf-distributed categorical
-//     sampling (the "unbalanced queries" phenomenon of §III-D that makes
-//     vector-based LZ effective);
-//   - CTR labels planted by a ground-truth logistic model so that training
-//     has signal and accuracy curves are meaningful.
 package criteo
 
 import (

@@ -1,0 +1,26 @@
+// Package criteo generates synthetic click-log workloads that stand in for
+// the Criteo Ad Kaggle and Criteo Terabyte datasets used by the paper
+// (neither is redistributable or downloadable offline).
+//
+// The generator reproduces the properties the paper's compression results
+// depend on:
+//
+//   - 13 continuous features and 26 categorical features per sample;
+//   - the published per-table cardinalities of both datasets (spanning
+//     single digits to tens of millions, Fig. 6);
+//   - heavily unbalanced query frequencies via Zipf-distributed categorical
+//     sampling (the "unbalanced queries" phenomenon of §III-D that makes
+//     vector-based LZ effective);
+//   - CTR labels planted by a ground-truth logistic model so that training
+//     has signal and accuracy curves are meaningful.
+//
+// Layer: workload source for everything above the model — the trainers,
+// the experiment drivers, and the CLI all draw deterministic batches here.
+// The lookup traffic it induces is what the "lookup" and all-to-all
+// sim-time buckets ultimately price.
+//
+// Key types: Spec (dataset shape; KaggleSpec/TerabyteSpec are the
+// published calibrations, ScaledSpec shrinks cardinalities for fast runs),
+// Generator (seeded deterministic batch stream), Batch (dense features,
+// per-table indices, labels).
+package criteo

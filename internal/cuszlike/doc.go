@@ -1,0 +1,20 @@
+// Package cuszlike implements an SZ/cuSZ-family error-bounded lossy
+// compressor: error-bounded quantization, a Lorenzo predictor (1-D over the
+// flattened stream or 2-D over the batch-row grid), and a Huffman stage over
+// the prediction residuals.
+//
+// It exists as the paper's scientific-compressor baseline and as the
+// demonstration vehicle for observation ❶ (false prediction, Fig. 4):
+// embedding batches have little spatial correlation, and identical vectors
+// surrounded by different neighbors produce different residual rows, raising
+// entropy instead of lowering it. The package exposes residual statistics so
+// the experiments can show exactly that effect.
+//
+// Layer: baseline codec implementing internal/codec.ErrorBounded; priced
+// in end-to-end projections by netmodel.PaperCodecRates under the name
+// "cusz-like".
+//
+// Key types: Codec (New(eb, predictor)), Predictor (Lorenzo1D/Lorenzo2D),
+// and ResidualEntropy, the instrumentation behind Fig. 4's raw-vs-residual
+// bits-per-symbol comparison.
+package cuszlike

@@ -1,33 +1,9 @@
-// Package dist implements the hybrid-parallel distributed DLRM trainer of
-// the paper (§II-B, §III) on the simulated multi-GPU runtime in
-// internal/cluster:
-//
-//   - embedding tables are model-parallel, sharded round-robin across ranks
-//     (table t lives on rank t mod R);
-//   - the bottom/top MLPs are data-parallel replicas whose gradients are
-//     averaged with an AllReduce every step;
-//   - each step performs the forward all-to-all that redistributes embedding
-//     lookups from table owners to the ranks holding the corresponding batch
-//     shard — the exchange the paper compresses — and the backward
-//     all-to-all that routes lookup gradients back to the owners.
-//
-// The training math is real (the same tensors a single-process model.DLRM
-// computes); only the clock is modelled. Collectives charge simulated time
-// through the pluggable netmodel.Topology, and the trainer charges compute
-// and codec kernels to the buckets profileutil.Breakdown reads: "fwd-a2a",
-// "bwd-a2a", "allreduce", "mlp", "lookup", "other", "compress", and
-// "decompress". Under a multi-node topology (netmodel.Hierarchical) the
-// all-to-all buckets split per link into "fwd-a2a-intra"/"fwd-a2a-inter"
-// and "bwd-a2a-intra"/"bwd-a2a-inter".
-//
-// Compression plugs in per table via Options.CodecFor, and the dual-level
-// adaptive strategy via Options.Controller, which re-tunes every
-// error-bounded codec's bound at the start of each iteration.
 package dist
 
 import (
 	"fmt"
 	"reflect"
+	"time"
 
 	"dlrmcomp/internal/adapt"
 	"dlrmcomp/internal/cluster"
@@ -129,6 +105,17 @@ type Trainer struct {
 	// lookup shard right after the forward all-to-all: recon is the
 	// [shard, dim] matrix for table and indices the shard's global rows.
 	fwdHook func(rank, table int, recon *tensor.Matrix, indices []int32)
+
+	// Overlap-schedule state (RunPipelined only). tl is the per-link
+	// occupancy timeline the pipelined steps are replayed onto; pipeSerial
+	// accumulates what the same steps would cost scheduled serially.
+	// pending/pendingFwdDone carry the one-step lookahead: the stats of the
+	// step whose compute is not yet scheduled and the modelled completion
+	// of its (prefetched) forward transfer.
+	tl             *netmodel.Timeline
+	pipeSerial     time.Duration
+	pending        *stepStats
+	pendingFwdDone time.Duration
 }
 
 // NewTrainer validates opts, builds the template model, the per-rank MLP

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/netmodel"
+)
+
+// This file implements the comm/compute overlap engine: a double-buffered
+// training driver that pipelines the forward all-to-all of batch k+1
+// behind the MLP compute of batch k.
+//
+// The math is executed in exactly the synchronous order — RunPipelined
+// calls the same runStep as Step, so losses, parameters, and every
+// accounting bucket are bit-identical to a Step loop. What changes is how
+// the modelled component costs compose into an end-to-end time: instead of
+// summing serially, each component is reserved on a netmodel.Timeline
+// resource (device lane, intra link, inter link), so a transfer in flight
+// on the NIC genuinely overlaps device compute, while two transfers
+// contending for the same link serialize.
+//
+// The steady-state schedule per step k (device lane left, links right):
+//
+//	dev:  decompress(k-1) · lookup(k) · compress(k) · mlp+other(k-1)
+//	link:                       └─ fwd a2a(k) ──────────────────────┐
+//	link:  mlp done ─ bwd a2a(k-1) ─ allreduce(k-1)                 │
+//	dev:  decompress(k) ◄───────────────────────────────────────────┘
+//
+// so the wire time of batch k's forward exchange hides under batch k-1's
+// MLP (and its backward collectives), and the codec work of batch k hides
+// under the head of its own transfer (the wire starts once the first
+// per-destination chunk is compressed). The modelled prefetch assumes the
+// owner-side gather of batch k may proceed while batch k-1's dense
+// backward is still on the device — the standard DLRM prefetch discipline;
+// the executed math keeps the synchronous order, so enabling overlap never
+// changes results, only the clock.
+
+// RunPipelined runs steps training iterations with the comm/compute
+// overlap schedule, fetching batch k from next(k). It returns the
+// per-step global-batch losses, which are bit-identical to calling Step
+// on the same batches (and therefore to single-process training at one
+// rank). After it returns, OverlappedSimTime reports the modelled
+// end-to-end time of the pipelined run and SerialSimTime what the same
+// steps cost scheduled serially; the per-bucket breakdown in
+// Cluster().SimTimes() is unchanged by overlap.
+//
+// On a step error the driver stops, flushes the schedule, and returns the
+// losses of the completed steps alongside the error (the failed step
+// applied no updates, as with Step).
+func (t *Trainer) RunPipelined(steps int, next func(step int) *criteo.Batch) ([]float32, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("dist: RunPipelined needs a positive step count, got %d", steps)
+	}
+	if t.tl == nil {
+		t.tl = netmodel.NewTimeline()
+	}
+	losses := make([]float32, 0, steps)
+	for k := 0; k < steps; k++ {
+		loss, st, err := t.runStep(next(k))
+		if err != nil {
+			t.flush()
+			return losses, err
+		}
+		losses = append(losses, loss)
+		t.pipeSerial += st.serial()
+		if t.pending == nil {
+			// Cold start: nothing to overlap the first transfer with.
+			t.pendingFwdDone = t.schedulePrefetch(&st)
+		} else {
+			t.pendingFwdDone = t.scheduleCompute(t.pending, t.pendingFwdDone, &st)
+		}
+		stCopy := st
+		t.pending = &stCopy
+	}
+	t.flush()
+	return losses, nil
+}
+
+// flush schedules the trailing step's compute (which has no successor to
+// prefetch) and clears the lookahead state so a subsequent RunPipelined
+// cold-starts cleanly after the current makespan.
+func (t *Trainer) flush() {
+	if t.pending != nil {
+		t.scheduleCompute(t.pending, t.pendingFwdDone, nil)
+		t.pending = nil
+		t.pendingFwdDone = 0
+	}
+}
+
+// schedulePrefetch books a step's owner-side gather (lookup + compress) on
+// the device lane and its forward all-to-all on the links, returning the
+// modelled completion of the transfer. The wire starts once the first
+// per-destination chunk is compressed, so all but 1/(ranks-1) of the codec
+// time hides under the transfer itself.
+func (t *Trainer) schedulePrefetch(st *stepStats) time.Duration {
+	lookupDone := t.tl.Reserve(netmodel.ResDevice, 0, st.lookup)
+	compressDone := t.tl.Reserve(netmodel.ResDevice, lookupDone, st.compress)
+	wireReady := compressDone
+	if st.compress > 0 {
+		chunks := t.opts.Ranks - 1
+		if chunks < 1 {
+			chunks = 1
+		}
+		wireReady = compressDone - st.compress + st.compress/time.Duration(chunks)
+	}
+	return t.tl.ReserveLinkCost(wireReady, st.fwd)
+}
+
+// scheduleCompute books the receive-and-compute half of the step whose
+// forward transfer completed at fwdDone: decompress, then — before the MLP,
+// so its wire time hides under it — the prefetch of nextSt (when non-nil),
+// then the MLP (+ other compute), the backward all-to-all, and the dense
+// allreduce. Returns the modelled completion of nextSt's forward transfer
+// (zero when nextSt is nil).
+func (t *Trainer) scheduleCompute(st *stepStats, fwdDone time.Duration, nextSt *stepStats) time.Duration {
+	t.tl.Reserve(netmodel.ResDevice, fwdDone, st.decompress)
+	var nextFwdDone time.Duration
+	if nextSt != nil {
+		// The prefetch gather needs only the device, not this step's
+		// inbound data, so it may run while the transfer is still in
+		// flight (it slots in here, before the MLP).
+		nextFwdDone = t.schedulePrefetch(nextSt)
+	}
+	// The MLP consumes this step's lookups: it must wait for the transfer
+	// even when there is no decompress reservation to carry that edge
+	// (codec none ⇒ st.decompress == 0 ⇒ the reservation above was a
+	// no-op that did not advance the device clock past fwdDone).
+	mlpDone := t.tl.Reserve(netmodel.ResDevice, fwdDone, st.mlp+st.other)
+	bwdDone := t.tl.ReserveLinkCost(mlpDone, st.bwd)
+	t.tl.Reserve(netmodel.ResInter, bwdDone, st.allreduce)
+	return nextFwdDone
+}
+
+// OverlappedSimTime returns the modelled end-to-end duration of all steps
+// driven through RunPipelined so far — the makespan of the per-link
+// occupancy timeline. Zero if RunPipelined has not run.
+func (t *Trainer) OverlappedSimTime() time.Duration {
+	if t.tl == nil {
+		return 0
+	}
+	return t.tl.End()
+}
+
+// SerialSimTime returns what the RunPipelined steps would have cost under
+// the synchronous schedule (every component back to back) — the baseline
+// the overlap win is measured against. Zero if RunPipelined has not run.
+func (t *Trainer) SerialSimTime() time.Duration { return t.pipeSerial }

@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/nn"
+)
+
+// paperishOptions builds trainer options at a scale where both comm and
+// compute are nontrivial, so the overlap schedule has something to hide.
+func paperishOptions(ranks int, hier, compressed bool) Options {
+	spec := testSpec()
+	o := Options{
+		Ranks:              ranks,
+		Model:              testConfig(spec, 16),
+		Device:             netmodel.Device{FLOPS: 3e12, MemBandwidth: 1.3e12},
+		OtherComputeFactor: 0.8,
+	}
+	if hier {
+		o.Net = netmodel.PaperHierarchical(4)
+	} else {
+		o.Net = netmodel.Slingshot10()
+	}
+	if compressed {
+		o.CodecFor = func(int) codec.Codec { return hybrid.New(0.02, hybrid.Auto) }
+	}
+	return o
+}
+
+// TestPipelinedSingleRankBitParity checks the 1-rank pipelined run is the
+// degenerate no-op case: bit-identical to single-process training AND zero
+// overlap benefit (no links, so the timeline is one serial device lane).
+func TestPipelinedSingleRankBitParity(t *testing.T) {
+	spec := testSpec()
+	cfg := testConfig(spec, 8)
+	tr, err := NewTrainer(Options{Ranks: 1, Model: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &nn.SGD{LR: DefaultDenseLR}
+
+	genD := criteo.NewGenerator(spec)
+	genS := criteo.NewGenerator(spec)
+	losses, err := tr.RunPipelined(12, func(int) *criteo.Batch { return genD.NextBatch(32) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lossD := range losses {
+		bs := genS.NextBatch(32)
+		lossS := ref.TrainStep(bs.Dense, bs.Indices, bs.Labels, opt, DefaultEmbLR)
+		if lossD != lossS {
+			t.Fatalf("step %d: pipelined loss %v != single-process loss %v", i, lossD, lossS)
+		}
+	}
+	eb := genD.NextBatch(256)
+	accD, llD := tr.Evaluate(eb)
+	accS, llS := ref.Evaluate(eb.Dense, eb.Indices, eb.Labels)
+	if accD != accS || math.Abs(llD-llS) > 1e-12 {
+		t.Fatalf("eval mismatch: pipelined (%v, %v) vs single (%v, %v)", accD, llD, accS, llS)
+	}
+	// One rank has no peers: nothing to overlap, so the overlapped and
+	// serial schedules must coincide exactly.
+	if tr.OverlappedSimTime() != tr.SerialSimTime() {
+		t.Fatalf("1-rank overlap benefit: overlapped %v != serial %v",
+			tr.OverlappedSimTime(), tr.SerialSimTime())
+	}
+	if tr.OverlappedSimTime() <= 0 {
+		t.Fatal("1-rank pipelined run modelled zero time")
+	}
+}
+
+// TestPipelinedLossParityWithStep checks an N-rank pipelined run produces
+// bit-identical losses and buckets to a Step loop over the same batches —
+// the math is shared; only the end-to-end clock composition differs.
+func TestPipelinedLossParityWithStep(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		trP, err := NewTrainer(paperishOptions(8, true, compressed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trS, err := NewTrainer(paperishOptions(8, true, compressed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		genP := criteo.NewGenerator(testSpec())
+		genS := criteo.NewGenerator(testSpec())
+
+		pipeLosses, err := trP.RunPipelined(8, func(int) *criteo.Batch { return genP.NextBatch(64) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pl := range pipeLosses {
+			sl, err := trS.Step(genS.NextBatch(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pl != sl {
+				t.Fatalf("compressed=%v step %d: pipelined loss %v != Step loss %v", compressed, i, pl, sl)
+			}
+		}
+		// The breakdown buckets are charged by the shared step internals and
+		// must not depend on the driver.
+		p, s := trP.Cluster().SimTimes(), trS.Cluster().SimTimes()
+		if len(p) != len(s) {
+			t.Fatalf("compressed=%v: bucket sets differ: %v vs %v", compressed, p, s)
+		}
+		for k, v := range s {
+			if p[k] != v {
+				t.Fatalf("compressed=%v bucket %q: pipelined %v != sync %v", compressed, k, p[k], v)
+			}
+		}
+	}
+}
+
+// TestPipelinedOverlapStrictlyFaster is the headline property: at 8+ ranks
+// on the hierarchical topology, the overlapped schedule must finish
+// strictly earlier than the serial one — with and without the codec — and
+// must never beat the device-lane lower bound.
+func TestPipelinedOverlapStrictlyFaster(t *testing.T) {
+	for _, ranks := range []int{8, 16} {
+		for _, compressed := range []bool{false, true} {
+			tr, err := NewTrainer(paperishOptions(ranks, true, compressed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := criteo.NewGenerator(testSpec())
+			if _, err := tr.RunPipelined(4, func(int) *criteo.Batch { return gen.NextBatch(128) }); err != nil {
+				t.Fatal(err)
+			}
+			over, serial := tr.OverlappedSimTime(), tr.SerialSimTime()
+			if over <= 0 || serial <= 0 {
+				t.Fatalf("ranks=%d compressed=%v: degenerate times over=%v serial=%v", ranks, compressed, over, serial)
+			}
+			if over >= serial {
+				t.Fatalf("ranks=%d compressed=%v: overlapped %v not strictly below serial %v",
+					ranks, compressed, over, serial)
+			}
+		}
+	}
+}
+
+// TestPipelinedSerialMatchesBreakdown ties SerialSimTime to the public
+// accounting: for a trainer driven only through RunPipelined, the serial
+// schedule cost is exactly the sum of all breakdown buckets.
+func TestPipelinedSerialMatchesBreakdown(t *testing.T) {
+	tr, err := NewTrainer(paperishOptions(8, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := criteo.NewGenerator(testSpec())
+	if _, err := tr.RunPipelined(3, func(int) *criteo.Batch { return gen.NextBatch(64) }); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, d := range tr.Cluster().SimTimes() {
+		total += int64(d)
+	}
+	if got := int64(tr.SerialSimTime()); got != total {
+		t.Fatalf("SerialSimTime %v != bucket sum %v", tr.SerialSimTime(), total)
+	}
+}
+
+// TestPipelinedRunsCompose checks two consecutive RunPipelined calls extend
+// one timeline monotonically (the second cold-starts after the first's
+// makespan, never before).
+func TestPipelinedRunsCompose(t *testing.T) {
+	tr, err := NewTrainer(paperishOptions(4, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := criteo.NewGenerator(testSpec())
+	next := func(int) *criteo.Batch { return gen.NextBatch(32) }
+	if _, err := tr.RunPipelined(2, next); err != nil {
+		t.Fatal(err)
+	}
+	first := tr.OverlappedSimTime()
+	if _, err := tr.RunPipelined(2, next); err != nil {
+		t.Fatal(err)
+	}
+	if second := tr.OverlappedSimTime(); second <= first {
+		t.Fatalf("second run did not extend the timeline: %v -> %v", first, second)
+	}
+	if tr.OverlappedSimTime() >= tr.SerialSimTime() {
+		t.Fatalf("composed runs lost the overlap win: overlapped %v, serial %v",
+			tr.OverlappedSimTime(), tr.SerialSimTime())
+	}
+}
+
+// TestPipelinedStepCountValidation covers the trivial input contract.
+func TestPipelinedStepCountValidation(t *testing.T) {
+	tr, err := NewTrainer(paperishOptions(2, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RunPipelined(0, func(int) *criteo.Batch { return nil }); err == nil {
+		t.Fatal("RunPipelined(0) succeeded, want error")
+	}
+}

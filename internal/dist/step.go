@@ -61,6 +61,29 @@ func (t *Trainer) stepFlops(samples int) float64 {
 	return 6 * float64(macs) * float64(samples)
 }
 
+// stepStats decomposes one training step into the modelled durations of
+// its components, each tagged (implicitly) with the resource it occupies:
+// lookup/compress/decompress/mlp/other run on the device lane, the two
+// all-to-alls on the intra-/inter-node links, the allreduce on the inter
+// link. Step sums them serially; the pipelined driver replays them onto a
+// netmodel.Timeline so transfer components overlap compute.
+type stepStats struct {
+	lookup     time.Duration
+	compress   time.Duration
+	decompress time.Duration
+	mlp        time.Duration
+	other      time.Duration
+	fwd        netmodel.LinkCost // forward all-to-all, metadata included
+	bwd        netmodel.LinkCost // backward all-to-all
+	allreduce  time.Duration
+}
+
+// serial is the synchronous step cost: every component back to back.
+func (s stepStats) serial() time.Duration {
+	return s.lookup + s.compress + s.fwd.Total() + s.decompress +
+		s.mlp + s.other + s.bwd.Total() + s.allreduce
+}
+
 // Step runs one synchronous training iteration over the global batch:
 //
 //  1. owners gather each table's lookups and scatter them shard-wise through
@@ -77,19 +100,29 @@ func (t *Trainer) stepFlops(samples int) float64 {
 // applies no parameter updates, so an errored Step leaves the model as it
 // was.
 func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
+	loss, _, err := t.runStep(b)
+	return loss, err
+}
+
+// runStep executes the step's math and bucket accounting and additionally
+// returns the step's modelled component costs for schedulers. The math and
+// every charged bucket are identical no matter which driver (Step or
+// RunPipelined) calls it — only how the components compose into an
+// end-to-end time differs between drivers.
+func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 	n := b.N()
 	ranks := t.opts.Ranks
 	numTables := len(t.opts.Model.TableSizes)
 	dim := t.opts.Model.EmbeddingDim
 	if n == 0 {
-		return 0, fmt.Errorf("dist: empty batch")
+		return 0, stepStats{}, fmt.Errorf("dist: empty batch")
 	}
 	if len(b.Indices) != numTables {
-		return 0, fmt.Errorf("dist: batch has %d index slices for %d tables", len(b.Indices), numTables)
+		return 0, stepStats{}, fmt.Errorf("dist: batch has %d index slices for %d tables", len(b.Indices), numTables)
 	}
 	for tb, idx := range b.Indices {
 		if len(idx) != n {
-			return 0, fmt.Errorf("dist: table %d has %d indices for %d samples", tb, len(idx), n)
+			return 0, stepStats{}, fmt.Errorf("dist: table %d has %d indices for %d samples", tb, len(idx), n)
 		}
 	}
 	iter := t.iter
@@ -108,6 +141,11 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 	start, count := shardBounds(n, ranks)
 	losses := make([]float32, ranks)
 	errs := make([]error, ranks)
+	// st collects the step's modelled component costs. Collective costs are
+	// written by rank 0's goroutine only; device components are filled in
+	// after the fan-out joins. Run's WaitGroup orders both against the
+	// final read.
+	var st stepStats
 	// failed lets every rank see that some rank errored, so the step can
 	// finish its collectives (keeping the barriers aligned) without
 	// applying any update — an errored Step leaves the model untouched.
@@ -169,7 +207,11 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 				send[dst] = appendFrame(send[dst], tb, encCodec, frame)
 			}
 		}
-		recv := rank.AllToAllV(send, t.anyCodec, "fwd-a2a", t.opts.Algo)
+		fwdOp := rank.IAllToAllV(send, t.anyCodec, "fwd-a2a", t.opts.Algo)
+		recv := fwdOp.Await()
+		if r == 0 {
+			st.fwd = fwdOp.Cost()
+		}
 
 		// --- stage 2: reconstruct the local shard's lookups ---
 		for from := 0; from < ranks; from++ {
@@ -244,7 +286,11 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 				send2[dst] = appendFrame(send2[dst], tb, encRaw, floatsToBytes(dLookups[tb].Data))
 			}
 		}
-		recv2 := rank.AllToAllV(send2, false, "bwd-a2a", t.opts.Algo)
+		bwdOp := rank.IAllToAllV(send2, false, "bwd-a2a", t.opts.Algo)
+		recv2 := bwdOp.Await()
+		if r == 0 {
+			st.bwd = bwdOp.Cost()
+		}
 
 		grads := make(map[int]*tensor.Matrix) // owned table -> [n, dim]
 		for from := 0; from < ranks; from++ {
@@ -283,7 +329,11 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 		params := rp.m.DenseParams()
 		buf := make([]float32, t.numParams)
 		flattenGrads(params, buf)
-		rank.AllReduceSum(buf, "allreduce")
+		arOp := rank.IAllReduceSum(buf, "allreduce")
+		arOp.Await()
+		if r == 0 {
+			st.allreduce = arOp.Cost()
+		}
 		// The allreduce barrier also publishes stage-4 failures.
 		if !failed.Load() {
 			unflattenGrads(buf, params)
@@ -293,7 +343,7 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 
 	for _, err := range errs {
 		if err != nil {
-			return 0, err
+			return 0, stepStats{}, err
 		}
 	}
 
@@ -303,16 +353,20 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 	for _, c := range count {
 		maxCnt = max(maxCnt, c)
 	}
-	mlpT := t.opts.Device.MLPTime(t.stepFlops(maxCnt))
-	t.cl.AddSimTime("mlp", mlpT)
+	st.mlp = t.opts.Device.MLPTime(t.stepFlops(maxCnt))
+	t.cl.AddSimTime("mlp", st.mlp)
 	if t.opts.OtherComputeFactor > 0 {
-		t.cl.AddSimTime("other", time.Duration(t.opts.OtherComputeFactor*float64(mlpT)))
+		st.other = time.Duration(t.opts.OtherComputeFactor * float64(st.mlp))
+		t.cl.AddSimTime("other", st.other)
 	}
-	t.cl.AddSimTime("lookup", t.opts.Device.LookupTime(maxInt64(lookupBytes)))
+	st.lookup = t.opts.Device.LookupTime(maxInt64(lookupBytes))
+	t.cl.AddSimTime("lookup", st.lookup)
 	if d := maxDur(compDur); d > 0 {
+		st.compress = d
 		t.cl.AddSimTime("compress", d)
 	}
 	if d := maxDur(decompDur); d > 0 {
+		st.decompress = d
 		t.cl.AddSimTime("decompress", d)
 	}
 	for r := 0; r < ranks; r++ {
@@ -321,13 +375,13 @@ func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 	}
 
 	if ranks == 1 {
-		return losses[0], nil
+		return losses[0], st, nil
 	}
 	var loss float64
 	for r := 0; r < ranks; r++ {
 		loss += float64(losses[r]) * float64(count[r])
 	}
-	return float32(loss / float64(n)), nil
+	return float32(loss / float64(n)), st, nil
 }
 
 func flattenGrads(params []nn.Param, buf []float32) {

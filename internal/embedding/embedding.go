@@ -1,8 +1,3 @@
-// Package embedding implements DLRM embedding tables: dense row storage,
-// batched lookup, and the sparse gradient scatter/update used during
-// backpropagation. A lookup batch produces one row per sample per table; the
-// rows are exactly the "embedding lookups" whose all-to-all exchange the
-// paper compresses.
 package embedding
 
 import (

@@ -1,14 +1,10 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation section (§IV). Each driver builds its workload from the
-// synthetic Criteo substitutes, runs the real compressors/trainer, and
-// formats the same rows or series the paper reports. DESIGN.md carries the
-// experiment index; EXPERIMENTS.md records paper-vs-measured values.
 package experiments
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dlrmcomp/internal/criteo"
@@ -32,34 +28,107 @@ type Result struct {
 // Runner executes one experiment.
 type Runner func(Options) (*Result, error)
 
-// registry maps experiment IDs to runners, with insertion order retained.
+// Entry is one registry row: the experiment's ID and the table/figure it
+// reproduces. The registry is the single source of truth for the
+// experiment index — cmd/experiments prints it and DESIGN.md's index is
+// generated from it (a drift test pins the two together).
+type Entry struct {
+	ID    string
+	Title string
+}
+
+// registry maps experiment IDs to runners, with insertion order retained
+// in entries.
 var (
-	registry      = map[string]Runner{}
-	registryOrder []string
+	registry = map[string]Runner{}
+	entries  []Entry
 )
 
-func register(id string, r Runner) {
+func register(id, title string, r Runner) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
 	registry[id] = r
-	registryOrder = append(registryOrder, id)
+	entries = append(entries, Entry{ID: id, Title: title})
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. The result's ID and Title
+// come from the registry, so runners only produce the body text.
 func Run(id string, opts Options) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(opts)
+	res, err := r(opts)
+	if err != nil {
+		return nil, err
+	}
+	res.ID = id
+	for _, e := range entries {
+		if e.ID == id {
+			res.Title = e.Title
+			break
+		}
+	}
+	return res, nil
 }
 
-// IDs lists all registered experiments in registration order.
+// IDs lists all registered experiments in index order.
 func IDs() []string {
-	out := make([]string, len(registryOrder))
-	copy(out, registryOrder)
+	idx := Index()
+	out := make([]string, len(idx))
+	for i, e := range idx {
+		out[i] = e.ID
+	}
 	return out
+}
+
+// Index returns the registry rows in presentation order: figures by
+// number, then tables by number, then the named sweeps alphabetically.
+// Registration order is file-name order (package init), which is not a
+// meaningful order to show users or pin DESIGN.md to.
+func Index() []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, ni := splitID(out[i].ID)
+		cj, nj := splitID(out[j].ID)
+		if ci != cj {
+			return ci < cj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// splitID maps an experiment ID onto its sort key: class 0 for figN,
+// class 1 for tableN (with their numbers), class 2 for everything else.
+func splitID(id string) (class, num int) {
+	for c, prefix := range []string{"fig", "table"} {
+		if !strings.HasPrefix(id, prefix) {
+			continue
+		}
+		if n, err := strconv.ParseUint(id[len(prefix):], 10, 32); err == nil {
+			return c, int(n)
+		}
+	}
+	return 2, 0
+}
+
+// IndexMarkdown renders the registry as the markdown table embedded in
+// DESIGN.md's experiment index. DESIGN.md must carry this table verbatim
+// between its index markers; TestDesignExperimentIndexInSync enforces it,
+// and `go run ./cmd/experiments -design` prints it for regeneration.
+func IndexMarkdown() string {
+	var sb strings.Builder
+	sb.WriteString("| ID | Reproduces |\n|---|---|\n")
+	for _, e := range Index() {
+		fmt.Fprintf(&sb, "| %s | %s |\n", e.ID, e.Title)
+	}
+	return sb.String()
 }
 
 // RunAll executes every experiment in order.

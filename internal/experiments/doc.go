@@ -1,0 +1,20 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation section (§IV), plus the repo's own scale studies
+// (the "scaling" topology sweep and the "overlap" comm/compute pipeline
+// sweep). Each driver builds its workload from the synthetic Criteo
+// substitutes, runs the real compressors/trainer, and formats the same
+// rows or series the paper reports.
+//
+// Layer: the top consumer of the simulation stack — drivers wire
+// internal/criteo workloads into internal/dist trainers over
+// internal/netmodel topologies and read the sim-time buckets back through
+// internal/profileutil. cmd/experiments is the CLI front end; bench_test.go
+// wraps every driver in a benchmark so CI archives each run.
+//
+// Key types: Options (Quick shrinks workloads for CI; full mode uses
+// paper-scale batches), Result (ID, Title, preformatted text), Entry and
+// the registry behind Run/RunAll/IDs/Index — the single source of truth
+// for the experiment index. IndexMarkdown renders the DESIGN.md table
+// (`go run ./cmd/experiments -design`), and a conformance test pins the
+// committed file to it so docs and code cannot drift.
+package experiments

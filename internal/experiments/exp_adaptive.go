@@ -12,13 +12,13 @@ import (
 )
 
 func init() {
-	register("fig5", runFig5)
-	register("fig6", runFig6)
-	register("fig9", runFig9)
-	register("fig10", runFig10)
-	register("table2", runTable2)
-	register("table3", runTable3)
-	register("table4", runTable4)
+	register("fig5", "Decay-function comparison", runFig5)
+	register("fig6", "EMB table sizes of both datasets", runFig6)
+	register("fig9", "Table-wise error-bound configuration", runFig9)
+	register("fig10", "Decay vs abrupt drop", runFig10)
+	register("table2", "Classification of EMB tables (L/M/S)", runTable2)
+	register("table3", "Ranked Homo Index on Kaggle", runTable3)
+	register("table4", "Ranked Homo Index on Terabyte", runTable4)
 }
 
 // runFig6 reproduces Fig. 6: the (unscaled) embedding-table cardinalities of
@@ -44,7 +44,7 @@ func runFig6(_ Options) (*Result, error) {
 	}
 	text := table([]string{"table", "kaggle rows", "terabyte rows"}, rows) +
 		fmt.Sprintf("\nKaggle spans %d to %d rows — the size diversity driving table-wise EBs.\n", minK, maxK)
-	return &Result{ID: "fig6", Title: "EMB table sizes of both datasets", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // homoAnalysis runs the offline analysis for one dataset.
@@ -84,7 +84,7 @@ func runTable2(opts Options) (*Result, error) {
 		l, m, s := res.ClassCounts()
 		fmt.Fprintf(&sb, "counts: L=%d M=%d S=%d\n\n", l, m, s)
 	}
-	return &Result{ID: "table2", Title: "Classification of EMB tables", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 func homoRankTable(spec criteo.Spec, opts Options, batch int, eb float32) (string, error) {
@@ -120,7 +120,7 @@ func runTable3(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{ID: "table3", Title: "Ranked Homo Index on Kaggle", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // runTable4 reproduces Table IV: ranked homogenization on Terabyte
@@ -134,7 +134,7 @@ func runTable4(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{ID: "table4", Title: "Ranked Homo Index on Terabyte", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // trainWithController trains the distributed model under a given adaptive
@@ -208,7 +208,7 @@ func runFig5(opts Options) (*Result, error) {
 	}
 	text := table([]string{"decay func", "accuracy", "CR"}, rows) +
 		"\nDecaying schedules start at 2x the base EB, so they out-compress the fixed\nbound while converging — stepwise gives the best CR/accuracy trade (Fig. 5).\n"
-	return &Result{ID: "fig5", Title: "Decay-function comparison", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // runFig9 reproduces Fig. 9: table-wise EB configuration vs a fixed global
@@ -256,7 +256,7 @@ func runFig9(opts Options) (*Result, error) {
 		fmt.Fprintf(&sb, "dataset %s\n%s\n", spec.Name, table([]string{"config", "accuracy", "CR", "CR gain"}, rows))
 	}
 	sb.WriteString("Paper: table-wise EBs keep accuracy intact and raise CR up to 1.21x on Kaggle.\n")
-	return &Result{ID: "fig9", Title: "Table-wise error-bound configuration", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 // runFig10 reproduces Fig. 10: gradual stepwise decay from 2x/3x the base
@@ -295,5 +295,5 @@ func runFig10(opts Options) (*Result, error) {
 	}
 	text := table([]string{"strategy", "accuracy", "CR"}, rows) +
 		"\nGradual decay tolerates a larger starting bound than an abrupt drop,\nyielding a further 1.09x/1.03x CR in the paper (1.32x/1.06x over fixed).\n"
-	return &Result{ID: "fig10", Title: "Decay vs abrupt drop", Text: text}, nil
+	return &Result{Text: text}, nil
 }

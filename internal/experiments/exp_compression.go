@@ -18,14 +18,14 @@ import (
 )
 
 func init() {
-	register("fig11", runFig11)
-	register("table5", runTable5)
-	register("table6", runTable6)
-	register("fig13", runFig13)
-	register("fig14", runFig14)
-	register("fig15", runFig15)
-	register("fig4", runFig4)
-	register("table1", runTable1)
+	register("fig11", "Compression ratio, throughput, and communication speedup", runFig11)
+	register("table5", "Per-table compression ratio of all compressors", runTable5)
+	register("table6", "Vector-LZ window-size sweep", runTable6)
+	register("fig13", "Data features of two representative EMB tables", runFig13)
+	register("fig14", "Lookup distribution across training phases", runFig14)
+	register("fig15", "Buffer optimization speedup", runFig15)
+	register("fig4", "Vector homogenization and false prediction", runFig4)
+	register("table1", "Characteristics of representative EMB tables", runTable1)
 }
 
 // codecSet returns the comparison set of Fig. 11 / Table V with the paper's
@@ -105,7 +105,7 @@ func runFig11(opts Options) (*Result, error) {
 		sb.WriteString(table([]string{"compressor", "CR", "Go GB/s c/d", "calib GB/s c/d", "a2a speedup@4GB/s"}, rows))
 		sb.WriteByte('\n')
 	}
-	return &Result{ID: "fig11", Title: "Compression ratio, throughput, and communication speedup", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 // runTable5 reproduces Table V: per-table compression ratios per compressor
@@ -172,7 +172,7 @@ func runTable5(opts Options) (*Result, error) {
 		sb.WriteString(table(header, rows))
 		sb.WriteByte('\n')
 	}
-	return &Result{ID: "table5", Title: "Per-table compression ratio of all compressors", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 // runTable6 reproduces Table VI: vector-LZ compression-ratio improvement as
@@ -218,7 +218,7 @@ func runTable6(opts Options) (*Result, error) {
 		sb.WriteString(table([]string{"dataset", "w=32", "w=64", "w=128", "w=255"}, [][]string{row}))
 		sb.WriteByte('\n')
 	}
-	return &Result{ID: "table6", Title: "Vector-LZ window-size sweep (normalized CR)", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 // runFig13 reproduces Fig. 13: matched-pattern counts and value-distribution
@@ -267,7 +267,7 @@ func runFig13(opts Options) (*Result, error) {
 	}
 	text := table([]string{"tab", "matched", "unique", "std", "kurtosis", "CR vlz", "CR huffman"}, rows) +
 		"\nHigh matched/unique disparity favors vector-LZ; concentrated (high-kurtosis)\nvalues favor the entropy coder — the contrast of Fig. 13.\n"
-	return &Result{ID: "fig13", Title: "Data features of two representative EMB tables", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // pickRepresentativeTables selects the most LZ-friendly and the most
@@ -347,7 +347,7 @@ func runFig14(opts Options) (*Result, error) {
 	}
 	text := table([]string{"phase", "mean", "std", "kurtosis", "CR"}, rows) +
 		"\nDistribution moments and CR stay nearly constant across training (Fig. 14).\n"
-	return &Result{ID: "fig14", Title: "Lookup distribution across training phases", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // runFig15 reproduces Fig. 15: buffer-optimization speedup across chunk
@@ -374,7 +374,7 @@ func runFig15(opts Options) (*Result, error) {
 	text += fmt.Sprintf("\nlive Go batched-vs-serial compression speedup (16 chunks, %d hardware threads): %.2fx\n",
 		runtime.GOMAXPROCS(0), live)
 	text += "(the live figure scales with available cores; the analytic sweep above models the GPU)\n"
-	return &Result{ID: "fig15", Title: "Buffer optimization speedup", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // runFig4 illustrates false prediction and vector homogenization on a tiny
@@ -404,7 +404,7 @@ func runFig4(_ Options) (*Result, error) {
 	}
 	fmt.Fprintf(&sb, "2x2 Lorenzo prediction: raw-code entropy %.3f bits -> residual entropy %.3f bits\n", rawBits, residBits)
 	sb.WriteString("prediction RAISES entropy on embedding batches (false prediction), because\nidentical vectors sit next to different neighbors.\n")
-	return &Result{ID: "fig4", Title: "Vector homogenization and false prediction", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 // runTable1 reproduces Table I: characteristics of representative Kaggle
@@ -443,7 +443,7 @@ func runTable1(opts Options) (*Result, error) {
 		})
 	}
 	text := table([]string{"EMB table", "false-pred", "violent-homog", "gaussian", "homo-idx", "kurtosis"}, rows)
-	return &Result{ID: "table1", Title: "Characteristics of representative EMB tables", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 func check(b bool) string {

@@ -14,7 +14,7 @@ import (
 )
 
 func init() {
-	register("scaling", runScaling)
+	register("scaling", "Topology scaling: flat vs hierarchical all-to-all, 4→128 ranks", runScaling)
 }
 
 // a2aTime sums a breakdown's embedding all-to-all buckets across both the
@@ -156,5 +156,5 @@ func runScaling(opts Options) (*Result, error) {
 	} else {
 		sb.WriteString("\ncheck: hierarchical >= flat end-to-end at 32+ ranks with the hybrid codec: FAIL\n")
 	}
-	return &Result{ID: "scaling", Title: "Topology scaling: flat vs hierarchical all-to-all, 4→128 ranks", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }

@@ -16,9 +16,9 @@ import (
 )
 
 func init() {
-	register("fig1", runFig1)
-	register("fig12", runFig12)
-	register("fig8", runFig8)
+	register("fig1", "Training time breakdown without compression", runFig1)
+	register("fig12", "End-to-end training breakdown with compression", runFig12)
+	register("fig8", "Accuracy under different compression methods", runFig8)
 }
 
 // clusterScale returns the rank count and global batch of the timing
@@ -103,7 +103,7 @@ func runFig1(opts Options) (*Result, error) {
 	a2aShare := bd.Share("fwd-a2a") + bd.Share("bwd-a2a")
 	text := fmt.Sprintf("uncompressed DLRM training, %d ranks, global batch %d, %d steps\n\n%s\nall-to-all share: %.1f%% (paper: >60%%)\n",
 		ranks, batch, steps, bd.String(), 100*a2aShare)
-	return &Result{ID: "fig1", Title: "Training time breakdown without compression", Text: text}, nil
+	return &Result{Text: text}, nil
 }
 
 // runFig12 reproduces Fig. 12: end-to-end breakdown with the hybrid
@@ -159,7 +159,7 @@ func runFig12(opts Options) (*Result, error) {
 		fmt.Fprintf(&sb, "fwd all-to-all speedup: %.2fx   end-to-end speedup: %.2fx\n(paper: 6.22x/1.30x on Kaggle, 8.6x/1.38x on Terabyte)\n\n",
 			commSpeedup, e2eSpeedup)
 	}
-	return &Result{ID: "fig12", Title: "End-to-end training breakdown with compression", Text: sb.String()}, nil
+	return &Result{Text: sb.String()}, nil
 }
 
 // runFig8 reproduces Fig. 8: accuracy and delta-accuracy of FP32 baseline,
@@ -227,5 +227,5 @@ func runFig8(opts Options) (*Result, error) {
 	}
 	text := table([]string{"method", "accuracy", "delta-acc", "logloss", "train-loss", "CR"}, rows) +
 		"\nPaper criterion: accuracy loss within 0.02% is acceptable; the error-bounded\ncompressor stays within it while compressing far beyond FP16/FP8's fixed 2x/4x.\n"
-	return &Result{ID: "fig8", Title: "Accuracy under different compression methods", Text: text}, nil
+	return &Result{Text: text}, nil
 }

@@ -82,3 +82,22 @@ func TestScalingSweep(t *testing.T) {
 		t.Fatalf("hierarchical-vs-flat guarantee violated:\n%s", res.Text)
 	}
 }
+
+// TestOverlapSweep guards the overlap engine's acceptance claim: the
+// pipelined schedule must finish strictly below the synchronous one at 8+
+// ranks on the hierarchical topology with and without the hybrid codec
+// (the experiment embeds the verdict in its check line).
+func TestOverlapSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	res := runOK(t, "overlap")
+	for _, tok := range []string{"recovered-a2a", "hier", "hybrid", "8"} {
+		if !strings.Contains(res.Text, tok) {
+			t.Fatalf("overlap missing %q:\n%s", tok, res.Text)
+		}
+	}
+	if !strings.Contains(res.Text, "codec none and hybrid): PASS") {
+		t.Fatalf("overlap-vs-synchronous guarantee violated:\n%s", res.Text)
+	}
+}

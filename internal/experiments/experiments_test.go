@@ -22,7 +22,8 @@ func runOK(t *testing.T, id string) *Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15",
-		"table1", "table2", "table3", "table4", "table5", "table6", "scaling"}
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"overlap", "scaling"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true

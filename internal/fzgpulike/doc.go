@@ -1,0 +1,15 @@
+// Package fzgpulike implements an FZ-GPU-family error-bounded lossy
+// compressor: error-bounded quantization followed by a bitshuffle transform
+// and zero-run sparse encoding. The design goal of the original is extreme
+// throughput from branch-free encoding; the cost is a lower compression
+// ratio than entropy- or dictionary-based coding — exactly the trade-off the
+// paper's Fig. 11 shows.
+//
+// Layer: baseline codec implementing internal/codec.ErrorBounded; priced
+// in end-to-end projections by netmodel.PaperCodecRates under the name
+// "fz-gpu-like".
+//
+// Key types: Codec (New(eb)); the frame layout is quantization codes →
+// 32-way bitshuffle → zero-block bitmap + packed nonzero words, mirroring
+// the original's two-kernel structure.
+package fzgpulike

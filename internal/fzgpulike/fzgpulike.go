@@ -1,9 +1,3 @@
-// Package fzgpulike implements an FZ-GPU-family error-bounded lossy
-// compressor: error-bounded quantization followed by a bitshuffle transform
-// and zero-run sparse encoding. The design goal of the original is extreme
-// throughput from branch-free encoding; the cost is a lower compression
-// ratio than entropy- or dictionary-based coding — exactly the trade-off the
-// paper's Fig. 11 shows.
 package fzgpulike
 
 import (

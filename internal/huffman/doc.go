@@ -1,0 +1,20 @@
+// Package huffman implements the optimized entropy encoder of the paper's
+// hybrid compressor (§III-D): a canonical Huffman coder over quantization-bin
+// symbols. Unlike prediction-based scientific compressors, no predictor is
+// applied first — the paper's observation ❶ (false prediction) shows Lorenzo
+// prediction *raises* the entropy of embedding batches, so the coder consumes
+// raw bin symbols.
+//
+// The encoded frame is self-contained: it carries the canonical code-length
+// table followed by the bitstream. Degenerate inputs (empty, single distinct
+// symbol) and incompressible inputs (raw fallback) are handled explicitly.
+//
+// Layer: the entropy half of internal/hybrid (the other half is the
+// vector-based LZ in internal/vlz); also the residual coder inside
+// internal/cuszlike. Pure compute — its cost enters the sim clock only
+// through the calibrated codec rates of the codec that wraps it.
+//
+// Key API: Encode/Decode over []uint32 symbols (zigzagged quantization
+// bins), CompressedSize for the selection models, plus the bitio
+// reader/writer primitives shared with the other entropy stages.
+package huffman

@@ -1,13 +1,3 @@
-// Package huffman implements the optimized entropy encoder of the paper's
-// hybrid compressor (§III-D): a canonical Huffman coder over quantization-bin
-// symbols. Unlike prediction-based scientific compressors, no predictor is
-// applied first — the paper's observation ❶ (false prediction) shows Lorenzo
-// prediction *raises* the entropy of embedding batches, so the coder consumes
-// raw bin symbols.
-//
-// The encoded frame is self-contained: it carries the canonical code-length
-// table followed by the bitstream. Degenerate inputs (empty, single distinct
-// symbol) and incompressible inputs (raw fallback) are handled explicitly.
 package huffman
 
 import (

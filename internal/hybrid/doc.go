@@ -1,0 +1,18 @@
+// Package hybrid implements the paper's hybrid error-bounded lossy
+// compressor for embedding batches (§III-D): an error-bounded quantization
+// encoder (internal/quant) feeding one of two lossless encoders — the
+// vector-based LZ encoder (internal/vlz) or the optimized Huffman encoder
+// (internal/huffman) — with the per-table choice made offline by the
+// Eq. (2) speed-up model or online by smallest-output selection.
+//
+// Layer: the headline codec of the reproduction, implementing
+// internal/codec.ErrorBounded. The distributed trainer compresses its
+// forward all-to-all with it; netmodel.PaperCodecRates prices it in
+// end-to-end projections under "ours-hybrid" (and "ours-vector" /
+// "ours-huffman" when a mode is forced).
+//
+// Key types: Codec (New(eb, mode)), Mode (Auto / VectorLZ / Entropy),
+// SelectEncoder (Algorithm 2's offline per-table choice), and
+// Speedup/Throughput, the Eq. (2) communication speed-up model used by
+// both the offline phase and the fig11 experiment.
+package hybrid

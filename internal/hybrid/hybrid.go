@@ -1,9 +1,3 @@
-// Package hybrid implements the paper's hybrid error-bounded lossy
-// compressor for embedding batches (§III-D): an error-bounded quantization
-// encoder feeding one of two lossless encoders — the vector-based LZ encoder
-// (package vlz) or the optimized entropy encoder (package huffman) — with
-// the per-table choice made offline by the Eq. (2) speed-up model or online
-// by smallest-output selection.
 package hybrid
 
 import (

@@ -1,0 +1,16 @@
+// Package interaction implements DLRM's dot-product feature-interaction
+// layer: given the bottom-MLP output and the embedding lookups (all of the
+// same dimension d), it computes every pairwise dot product among the
+// feature vectors and concatenates those with the dense vector, producing
+// the input of the top MLP.
+//
+// Layer: model substrate between the MLPs and the embedding lookups inside
+// internal/model (and each data-parallel replica in internal/dist). Its
+// FLOPs are folded into the "mlp" sim-time bucket by the trainer's
+// stepFlops model rather than charged separately.
+//
+// Key types: DotInteraction (NewDotInteraction(features, dim);
+// Forward/Backward follow the nn layer contract — Backward returns the
+// gradient w.r.t. the dense vector and every lookup, which is what the
+// backward all-to-all routes to the table owners).
+package interaction

@@ -1,8 +1,3 @@
-// Package interaction implements DLRM's dot-product feature-interaction
-// layer: given the bottom-MLP output and the embedding lookups (all of the
-// same dimension d), it computes every pairwise dot product among the
-// feature vectors and concatenates those with the dense vector, producing
-// the input of the top MLP.
 package interaction
 
 import (

@@ -1,8 +1,3 @@
-// Package lowprec implements the low-precision communication baselines the
-// paper compares against (§IV-A baseline ❷): casting embedding lookups to
-// IEEE-754 binary16 (FP16) or to the FP8 formats of Micikevicius et al.
-// (E4M3 and E5M2) before the all-to-all, then casting back. Both give a
-// fixed 2× / 4× reduction with relative (not error-bounded) precision loss.
 package lowprec
 
 import (

@@ -1,11 +1,3 @@
-// Package lz4like provides the lossless baseline compressors the paper
-// compares against: a from-scratch byte-level LZSS with the classic small
-// (4 KB) window and variable-length matches — the algorithmic family of
-// nvCOMP-LZ4 — and a Deflate codec built on the standard library, standing
-// in for nvCOMP-Deflate. Both operate on the raw float32 bytes of the batch,
-// which is exactly why they achieve low ratios on embedding data: the
-// mantissa bytes are high-entropy and repeats rarely align at byte level
-// unless whole vectors recur close together.
 package lz4like
 
 import (

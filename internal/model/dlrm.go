@@ -1,8 +1,3 @@
-// Package model assembles the full DLRM architecture: bottom MLP over dense
-// features, embedding lookups for categorical features, dot-product feature
-// interaction, and top MLP producing the CTR logit. It provides the
-// single-process reference trainer that the distributed trainer and all the
-// compression experiments build on.
 package model
 
 import (

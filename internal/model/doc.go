@@ -1,0 +1,18 @@
+// Package model assembles the full DLRM architecture: bottom MLP over dense
+// features, embedding lookups for categorical features, dot-product feature
+// interaction, and top MLP producing the CTR logit. It provides the
+// single-process reference trainer that the distributed trainer and all the
+// compression experiments build on.
+//
+// Layer: composition root of the model substrate (internal/nn MLPs,
+// internal/embedding tables, internal/interaction). internal/dist shards
+// this exact model — its 1-rank uncompressed step is bit-identical to
+// TrainStep here, the anchor of every parity test. Pure math; the
+// distributed trainer, not this package, charges the sim clock.
+//
+// Key types: Config (layer sizes, table cardinalities, seed —
+// Validate/New), DLRM (Forward, TrainStep, Evaluate for the single-process
+// path; ForwardFromLookups/Backward/ZeroGrad/DenseParams are the
+// replica-facing hooks the distributed trainer drives with all-to-all-
+// delivered lookups).
+package model

@@ -1,12 +1,3 @@
-// Package netmodel provides the analytic performance model that substitutes
-// for the paper's physical testbed (8 nodes × 4 A100s on a Slingshot-10
-// interconnect). Communication time uses an α-β (latency–bandwidth) model;
-// compute time uses device roofline rates; codec time uses throughput
-// numbers either measured from the Go implementations or calibrated to the
-// GPU figures the paper reports. Every experiment that reports seconds or
-// speedups derives them through this model, so the who-wins/crossover shape
-// of the paper's figures is reproduced even though the absolute Go-on-CPU
-// speeds differ from CUDA kernels.
 package netmodel
 
 import (

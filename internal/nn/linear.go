@@ -1,12 +1,3 @@
-// Package nn implements the neural-network substrate for DLRM: fully
-// connected layers, activations, multi-layer perceptrons, the binary
-// cross-entropy training criterion, and the SGD/Adagrad optimizers used by
-// the open-source DLRM reference implementation.
-//
-// All layers follow the same contract: Forward consumes a batch (rows =
-// samples) and caches whatever it needs; Backward consumes dL/d(output) and
-// returns dL/d(input) while accumulating parameter gradients, which the
-// optimizer then applies in Step.
 package nn
 
 import (

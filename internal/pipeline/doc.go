@@ -1,0 +1,21 @@
+// Package pipeline implements the compression/communication overlap the
+// paper lists as future work (§VI, citing Ramesh et al.'s pipelined
+// communication schemes): instead of compress-everything → send-everything →
+// decompress-everything, the payload is split into chunks that stream
+// through a three-stage pipeline (compress | transmit | decompress), so the
+// codec and the wire work concurrently.
+//
+// The package provides both the analytic pipeline model (for the cost
+// studies) and a real streaming implementation over any codec, with the
+// stages running in separate goroutines connected by channels.
+//
+// Layer: a single-transfer optimization study over internal/codec,
+// exported through the facade (dlrmcomp.StreamExchange). It is the
+// intra-transfer complement of the step-level scheduler in
+// internal/dist.RunPipelined: this package overlaps the stages of one
+// payload's journey; the trainer's overlap engine hides whole transfers
+// under the compute of the previous batch on the netmodel.Timeline.
+//
+// Key types: StageTimes/Speedup (the analytic k-chunk three-stage model),
+// Stats, and StreamExchange (the live goroutine pipeline).
+package pipeline

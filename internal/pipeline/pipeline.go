@@ -1,13 +1,3 @@
-// Package pipeline implements the compression/communication overlap the
-// paper lists as future work (§VI, citing Ramesh et al.'s pipelined
-// communication schemes): instead of compress-everything → send-everything →
-// decompress-everything, the payload is split into chunks that stream
-// through a three-stage pipeline (compress | transmit | decompress), so the
-// codec and the wire work concurrently.
-//
-// The package provides both the analytic pipeline model (for the cost
-// studies) and a real streaming implementation over any codec, with the
-// stages running in separate goroutines connected by channels.
 package pipeline
 
 import (

@@ -1,5 +1,3 @@
-// Package profileutil formats the simulated-time buckets collected during
-// training into the breakdown tables behind Fig. 1 and Fig. 12.
 package profileutil
 
 import (

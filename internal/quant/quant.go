@@ -1,13 +1,3 @@
-// Package quant implements the error-bounded uniform quantization encoder
-// that is the first stage of the paper's hybrid lossy compressor (§III-D):
-// floating-point values are mapped to integer bin codes such that the
-// reconstruction error of every element is at most the error bound.
-//
-// code_i  = round(v_i / (2·eb))
-// recon_i = code_i · (2·eb)      ⇒ |v_i − recon_i| ≤ eb
-//
-// Codes are symmetric around zero; ZigZag mapping converts them to unsigned
-// symbols for the entropy stage.
 package quant
 
 import (

@@ -1,0 +1,18 @@
+// Package tensor provides the dense float32 linear-algebra kernels that the
+// DLRM substrate is built on: row-major matrices, matrix products (including
+// transposed forms used by backpropagation), and elementwise vector helpers.
+//
+// The kernels are deliberately simple and allocation-conscious; the large
+// products used by MLP layers are parallelized across goroutines when the
+// work is big enough to amortize scheduling.
+//
+// Layer: the bottom of the model substrate — internal/nn, internal/model,
+// and the codecs all build on it. It also hosts the deterministic RNG
+// (NewRNG/FillNormal) that keeps every workload, initialization, and
+// experiment bitwise reproducible across runs, which the trainer parity
+// tests depend on.
+//
+// Key types: Matrix (row-major with MatMul/MatMulT* products), RNG
+// (splitmix-based, seeded everywhere a stream of randomness is needed),
+// and the Scale/Axpy-style vector helpers.
+package tensor

@@ -1,10 +1,3 @@
-// Package tensor provides the dense float32 linear-algebra kernels that the
-// DLRM substrate is built on: row-major matrices, matrix products (including
-// transposed forms used by backpropagation), and elementwise vector helpers.
-//
-// The kernels are deliberately simple and allocation-conscious; the large
-// products used by MLP layers are parallelized across goroutines when the
-// work is big enough to amortize scheduling.
 package tensor
 
 import (

@@ -1,21 +1,3 @@
-// Package vlz implements the paper's vector-based LZ encoder (§III-D,
-// §III-E): an LZ-family compressor specialized for batches of embedding
-// vectors. Instead of scanning for repeating byte patterns of arbitrary
-// length, it exploits two DLRM-specific facts:
-//
-//   - the repeating unit is always exactly one embedding vector (the "fixed
-//     pattern length" optimization), so matching is whole-row-at-a-time and
-//     a failed first-element comparison skips the entire row;
-//   - unbalanced (Zipf-distributed) queries make identical rows recur within
-//     a batch, so a row-granular sliding window of the most recent rows
-//     (the "extended window size" optimization — 32 to 255 rows, i.e. far
-//     wider in bytes than a classic 4 KB LZ window) captures most repeats.
-//
-// The encoder consumes quantization-bin rows ([]int32 codes, row length =
-// embedding dim) and emits a token stream: match tokens carry a back-offset
-// in rows (with consecutive matches at the same offset run-length coded, so
-// a batch of identical vectors costs a handful of bytes); literal tokens
-// carry zigzag-varint coded bins.
 package vlz
 
 import (
