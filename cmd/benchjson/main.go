@@ -1,7 +1,12 @@
 // Command benchjson converts `go test -bench` text output into the JSON
 // report CI archives as a workflow artifact:
 //
-//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -o BENCH_ci.json
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | benchjson -o BENCH_ci.json
+//
+// Run the benchmarks with -benchmem: the parsed B/op and allocs/op columns
+// land in the JSON alongside ns/op, so the archived trajectory tracks
+// allocation regressions as well as time. -summary additionally prints a
+// fixed-width name/ns/B/allocs table to stderr for skimming the CI log.
 //
 // Reads stdin, writes stdout unless -o is given. Parsing is strict for
 // benchmark lines (a garbled line fails the conversion rather than silently
@@ -18,6 +23,7 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	summary := flag.Bool("summary", false, "also print a ns/B/allocs table to stderr")
 	flag.Parse()
 
 	rep, err := benchfmt.Parse(os.Stdin)
@@ -42,6 +48,12 @@ func main() {
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *summary {
+		if err := rep.WriteSummary(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(rep.Results))
 }

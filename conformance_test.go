@@ -51,6 +51,52 @@ func TestConformanceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConformanceBufferedPath checks the buffered helpers against every
+// codec: for codec.BufferedCodec implementations (the hybrid family) the
+// appended frame must be byte-identical to Compress and the in-place
+// reconstruction identical to Decompress; for the rest the fallback path
+// must behave the same way.
+func TestConformanceBufferedPath(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	src := make([]float32, 96*16)
+	rng.FillNormal(src, 0, 0.3)
+	for _, c := range allCodecs() {
+		ref, err := c.Compress(src, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		frame, err := codec.CompressAppend(c, []byte{0xA5}, src, 16)
+		if err != nil {
+			t.Fatalf("%s: CompressAppend: %v", c.Name(), err)
+		}
+		if frame[0] != 0xA5 || len(frame)-1 != len(ref) {
+			t.Fatalf("%s: CompressAppend corrupted the destination", c.Name())
+		}
+		for i, b := range ref {
+			if frame[1+i] != b {
+				t.Fatalf("%s: buffered frame differs at byte %d", c.Name(), i)
+			}
+		}
+		refVals, refDim, err := c.Decompress(ref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		dst := make([]float32, len(refVals))
+		dim, err := codec.DecompressInto(c, dst, ref)
+		if err != nil {
+			t.Fatalf("%s: DecompressInto: %v", c.Name(), err)
+		}
+		if dim != refDim {
+			t.Fatalf("%s: DecompressInto dim %d, want %d", c.Name(), dim, refDim)
+		}
+		for i := range dst {
+			if dst[i] != refVals[i] {
+				t.Fatalf("%s: buffered reconstruction differs at %d", c.Name(), i)
+			}
+		}
+	}
+}
+
 // TestConformanceErrorBounded verifies the error-bound contract of every
 // ErrorBounded codec across bounds.
 func TestConformanceErrorBounded(t *testing.T) {

@@ -43,6 +43,12 @@ import (
 // Codec is the interface implemented by every communication compressor.
 type Codec = codec.Codec
 
+// BufferedCodec is a Codec with an allocation-free steady-state path:
+// CompressAppend grows a caller-owned buffer with exactly the bytes
+// Compress would return, and DecompressInto reconstructs into a
+// caller-sized destination. The hybrid Compressor implements it.
+type BufferedCodec = codec.BufferedCodec
+
 // ErrorBounded is a Codec with a tunable absolute error bound.
 type ErrorBounded = codec.ErrorBounded
 

@@ -60,6 +60,40 @@ func ExampleCodec() {
 	// compresses: true
 }
 
+// ExampleBufferedCodec shows the allocation-free steady-state path: the
+// frame buffer and the reconstruction destination are reused across
+// iterations, and the appended frame is byte-identical to Codec.Compress.
+func ExampleBufferedCodec() {
+	spec := dlrmcomp.ScaledSpec(dlrmcomp.KaggleSpec(), 100000)
+	gen := dlrmcomp.NewGenerator(spec)
+	m, err := dlrmcomp.NewModel(exampleModel(spec))
+	if err != nil {
+		panic(err)
+	}
+	b := gen.NextBatch(256)
+	batch := m.Emb.Tables[0].Lookup(b.Indices[0]).Data // row-major [256 x 8]
+
+	var c dlrmcomp.BufferedCodec = dlrmcomp.NewCompressor(0.01, dlrmcomp.ModeAuto)
+	var frame []byte                     // reused across steps
+	recon := make([]float32, len(batch)) // reused across steps
+	for step := 0; step < 3; step++ {    // steady state: no allocation
+		frame, err = c.CompressAppend(frame[:0], batch, 8)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.DecompressInto(recon, frame); err != nil {
+			panic(err)
+		}
+	}
+	direct, err := c.Compress(batch, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("frames identical:", string(frame) == string(direct))
+	// Output:
+	// frames identical: true
+}
+
 // ExampleTrainer_Step runs a few synchronous hybrid-parallel training
 // steps across 4 simulated GPUs with the forward all-to-all compressed,
 // then checks training made progress and the exchange actually shrank.

@@ -26,6 +26,24 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// Metric returns the value recorded for a unit (e.g. "ns/op", "B/op",
+// "allocs/op", or a custom b.ReportMetric unit) and whether it was present.
+func (r *Result) Metric(unit string) (float64, bool) {
+	v, ok := r.Metrics[unit]
+	return v, ok
+}
+
+// NsPerOp returns the ns/op column (0, false when absent).
+func (r *Result) NsPerOp() (float64, bool) { return r.Metric("ns/op") }
+
+// BytesPerOp returns the -benchmem B/op column (0, false when the run was
+// made without -benchmem and the benchmark does not call ReportAllocs).
+func (r *Result) BytesPerOp() (float64, bool) { return r.Metric("B/op") }
+
+// AllocsPerOp returns the -benchmem allocs/op column — the regression
+// metric the allocation gate tracks across BENCH_*.json snapshots.
+func (r *Result) AllocsPerOp() (float64, bool) { return r.Metric("allocs/op") }
+
 // Report is a full parsed run.
 type Report struct {
 	Goos    string   `json:"goos,omitempty"`
@@ -105,4 +123,25 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// WriteSummary renders a compact fixed-width table of the core columns
+// (ns/op plus the -benchmem allocation columns when present), for humans
+// skimming a CI log; absent metrics print as "-".
+func (rep *Report) WriteSummary(w io.Writer) error {
+	cell := func(r *Result, unit string) string {
+		if v, ok := r.Metric(unit); ok {
+			return strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		return "-"
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		_, err := fmt.Fprintf(w, "%-50s %16s ns/op %14s B/op %10s allocs/op\n",
+			r.Name, cell(r, "ns/op"), cell(r, "B/op"), cell(r, "allocs/op"))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

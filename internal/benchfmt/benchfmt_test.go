@@ -75,6 +75,49 @@ func TestNameWithoutProcsSuffix(t *testing.T) {
 	}
 }
 
+// TestAllocationAccessors pins the typed access to the -benchmem columns
+// that the CI allocation trajectory (BENCH_ci.json) relies on.
+func TestAllocationAccessors(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMem, withoutMem := &rep.Results[1], &rep.Results[0]
+	if v, ok := withMem.AllocsPerOp(); !ok || v != 12 {
+		t.Fatalf("AllocsPerOp = (%v, %v), want (12, true)", v, ok)
+	}
+	if v, ok := withMem.BytesPerOp(); !ok || v != 2048 {
+		t.Fatalf("BytesPerOp = (%v, %v), want (2048, true)", v, ok)
+	}
+	if v, ok := withMem.NsPerOp(); !ok || v != 10500123 {
+		t.Fatalf("NsPerOp = (%v, %v), want (10500123, true)", v, ok)
+	}
+	if _, ok := withoutMem.AllocsPerOp(); ok {
+		t.Fatal("AllocsPerOp must report absence when the run lacked -benchmem")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkCodec_HybridCompress") ||
+		!strings.Contains(out, "12 allocs/op") {
+		t.Fatalf("summary missing allocation column:\n%s", out)
+	}
+	// The first benchmark ran without -benchmem: its columns print as "-".
+	first := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(first, "- B/op") || !strings.Contains(first, "- allocs/op") {
+		t.Fatalf("absent metrics must print as '-':\n%s", first)
+	}
+}
+
 func TestWriteJSONRoundTrip(t *testing.T) {
 	rep, err := Parse(strings.NewReader(sample))
 	if err != nil {

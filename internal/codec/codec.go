@@ -25,6 +25,57 @@ type ErrorBounded interface {
 	ErrorBound() float32
 }
 
+// BufferedCodec is optionally implemented by codecs with an allocation-free
+// steady-state path: compression appends to a caller-owned buffer and
+// decompression writes into a caller-sized destination. Implementations must
+// be frame-compatible with their own Compress/Decompress — CompressAppend
+// appends exactly the bytes Compress would return, and DecompressInto
+// reconstructs exactly the values Decompress would. Both must be safe for
+// concurrent use on one instance (as Compress/Decompress are): the trainer
+// shares one codec per table across rank goroutines and its intra-rank
+// codec workers.
+type BufferedCodec interface {
+	Codec
+	// CompressAppend encodes the batch and appends the frame to dst,
+	// returning the grown buffer.
+	CompressAppend(dst []byte, src []float32, dim int) ([]byte, error)
+	// DecompressInto reconstructs the batch into dst, whose length must
+	// equal the frame's value count, and returns the row length dim.
+	DecompressInto(dst []float32, frame []byte) (int, error)
+}
+
+// CompressAppend encodes src through c's buffered path when it has one, and
+// otherwise falls back to Compress plus an append. The appended bytes are
+// identical either way; only the allocation behavior differs.
+func CompressAppend(c Codec, dst []byte, src []float32, dim int) ([]byte, error) {
+	if bc, ok := c.(BufferedCodec); ok {
+		return bc.CompressAppend(dst, src, dim)
+	}
+	frame, err := c.Compress(src, dim)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, frame...), nil
+}
+
+// DecompressInto reconstructs frame through c's buffered path when it has
+// one, falling back to Decompress plus a copy. dst must hold exactly the
+// frame's value count; the returned int is the row length dim.
+func DecompressInto(c Codec, dst []float32, frame []byte) (int, error) {
+	if bc, ok := c.(BufferedCodec); ok {
+		return bc.DecompressInto(dst, frame)
+	}
+	vals, dim, err := c.Decompress(frame)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) != len(dst) {
+		return 0, fmt.Errorf("%s: decompressed %d values into a %d-value destination", c.Name(), len(vals), len(dst))
+	}
+	copy(dst, vals)
+	return dim, nil
+}
+
 // Ratio returns the compression ratio achieved by frame for a batch of n
 // float32 values (original bytes / compressed bytes).
 func Ratio(n int, frame []byte) float64 {

@@ -12,7 +12,12 @@
 //
 // Key types: Codec (Compress/Decompress/Name — Compress takes the batch
 // and its row dimension, Decompress returns values and dimension, both
-// pure so instances may be shared across rank goroutines) and
-// ErrorBounded (a Codec with a tunable absolute error bound, the hook the
-// adaptive Controller drives per table per iteration).
+// pure so instances may be shared across rank goroutines), ErrorBounded
+// (a Codec with a tunable absolute error bound, the hook the adaptive
+// Controller drives per table per iteration), and BufferedCodec — the
+// optional allocation-free steady-state path (CompressAppend into a
+// caller-owned buffer, DecompressInto a caller-sized destination,
+// frame/value-identical to the allocating methods). The package-level
+// CompressAppend/DecompressInto helpers route through it when available
+// and fall back to Compress/Decompress otherwise.
 package codec

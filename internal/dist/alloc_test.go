@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"testing"
+
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/testutil"
+)
+
+// maxStepAllocs is the documented steady-state allocation bound for one
+// Trainer.Step at 1 rank. Exact zero is not achievable — the cluster
+// fan-out spawns one goroutine per rank and each collective returns a
+// handle plus a receive table — but every batch-sized buffer (frames,
+// lookup matrices, gradient scratch, the flattened allreduce buffer, all
+// codec workspaces) is reused, so what remains is a small constant
+// independent of batch size, table count, and model width. Measured 22 on a
+// single-core run; the bound leaves headroom for scheduler-dependent
+// goroutine recycling on other machines, not for per-buffer regressions
+// (reintroducing even one per-table allocation on Criteo's 26 tables blows
+// straight past it).
+const maxStepAllocs = 48
+
+// TestStepAllocsSteadyState is the allocs/op regression gate for the
+// trainer hot path (it runs in the quick suite; CI fails if the workspace
+// reuse regresses).
+func TestStepAllocsSteadyState(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc pins are meaningless under the race detector (instrumented allocations, dropped pools)")
+	}
+	spec := testSpec()
+	tr, err := NewTrainer(Options{
+		Ranks: 1,
+		Model: testConfig(spec, 8),
+		// One codec worker keeps the fan-out a plain loop, so the count is
+		// machine-independent; worker parity is covered separately.
+		CodecWorkers: 1,
+		CodecFor:     func(int) codec.Codec { return hybrid.New(0.01, hybrid.Auto) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := criteo.NewGenerator(spec)
+	// A batch small enough that every matmul stays under the tensor
+	// package's parallel threshold on any machine — row-parallel matmul
+	// spawns goroutines, which would make the count GOMAXPROCS-dependent.
+	batch := gen.NextBatch(16)
+	for i := 0; i < 3; i++ { // warm the lazily-grown workspaces
+		if _, err := tr.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := tr.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxStepAllocs {
+		t.Fatalf("steady-state Step allocates %.1f times per op, documented bound is %d", allocs, maxStepAllocs)
+	}
+	t.Logf("steady-state Step: %.1f allocs/op (bound %d)", allocs, maxStepAllocs)
+}
+
+// TestStepAllocsIndependentOfBatch checks the bound is about reuse, not
+// batch luck: quadrupling the batch after warmup must not change the
+// steady-state allocation count (the workspaces grow once, then stabilize).
+func TestStepAllocsIndependentOfBatch(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc pins are meaningless under the race detector (instrumented allocations, dropped pools)")
+	}
+	spec := testSpec()
+	tr, err := NewTrainer(Options{Ranks: 1, Model: testConfig(spec, 4), CodecWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := criteo.NewGenerator(spec)
+	small, big := gen.NextBatch(8), gen.NextBatch(32)
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Step(big); err != nil { // warm to the larger size
+			t.Fatal(err)
+		}
+	}
+	measure := func(b *criteo.Batch) float64 {
+		return testing.AllocsPerRun(50, func() {
+			if _, err := tr.Step(b); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if s, b := measure(small), measure(big); b > s+1 {
+		t.Fatalf("allocs grow with batch size after warmup: %v (small) vs %v (big)", s, b)
+	}
+}
+
+// TestCodecWorkersParity pins that the intra-rank codec worker pool is a
+// pure scheduling change: a trainer with parallel per-table codec work
+// produces bit-identical losses, compression ratio, and sim-time buckets
+// to the sequential one on the same stream.
+func TestCodecWorkersParity(t *testing.T) {
+	spec := testSpec()
+	mk := func(workers int) *Trainer {
+		tr, err := NewTrainer(Options{
+			Ranks:        4,
+			Model:        testConfig(spec, 8),
+			CodecWorkers: workers,
+			CodecFor:     func(int) codec.Codec { return hybrid.New(0.01, hybrid.Auto) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	seq, par := mk(-1), mk(4)
+	genS, genP := criteo.NewGenerator(spec), criteo.NewGenerator(spec)
+	for i := 0; i < 6; i++ {
+		lossS, err := seq.Step(genS.NextBatch(33)) // uneven shards on purpose
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossP, err := par.Step(genP.NextBatch(33))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lossS != lossP {
+			t.Fatalf("step %d: parallel-codec loss %v != sequential loss %v", i, lossP, lossS)
+		}
+	}
+	if rs, rp := seq.CompressionRatio(), par.CompressionRatio(); rs != rp {
+		t.Fatalf("compression ratio differs: sequential %v, parallel %v", rs, rp)
+	}
+	st1, st2 := seq.Cluster().SimTimes(), par.Cluster().SimTimes()
+	if len(st1) != len(st2) {
+		t.Fatalf("bucket sets differ: %v vs %v", st1, st2)
+	}
+	for k, v := range st1 {
+		if st2[k] != v {
+			t.Fatalf("bucket %q differs: sequential %v, parallel %v", k, v, st2[k])
+		}
+	}
+	accS, llS := seq.Evaluate(genS.NextBatch(128))
+	accP, llP := par.Evaluate(genP.NextBatch(128))
+	if accS != accP || llS != llP {
+		t.Fatalf("eval differs: sequential (%v, %v), parallel (%v, %v)", accS, llS, accP, llP)
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"time"
 
 	"dlrmcomp/internal/adapt"
@@ -54,6 +55,13 @@ type Options struct {
 	// shared across rank goroutines, which is safe because Compress and
 	// Decompress are pure, but per-table error bounds mutate codec state.
 	CodecFor func(table int) codec.Codec
+	// CodecWorkers bounds the intra-rank worker pool that fans per-table
+	// compress/decompress work across idle cores (multi-table owners are
+	// the common case: Criteo has 26 tables). 0 picks
+	// clamp(GOMAXPROCS/Ranks, 1, 8) — one worker (a plain loop, no extra
+	// goroutines) unless the machine has spare cores per rank; negative
+	// forces the sequential path.
+	CodecWorkers int
 	// Controller, when non-nil, drives per-table per-iteration error bounds
 	// (the dual-level adaptive strategy): before each step, every
 	// error-bounded codec gets SetErrorBound(Controller.EBAt(table, iter)).
@@ -96,6 +104,17 @@ type Trainer struct {
 
 	numParams int // flattened dense-gradient length for the AllReduce
 	iter      int
+
+	// Steady-state workspaces: per-rank step buffers, rank-indexed step
+	// accounting, the owned-table list per rank, the intra-rank codec
+	// worker budget, and the cached per-sample MAC count for stepFlops —
+	// all built once in NewTrainer so Step allocates only a bounded
+	// handful of objects (goroutine fan-out, collective handles).
+	ws           []*stepWorkspace
+	scr          stepScratch
+	owned        [][]int
+	codecWorkers int
+	stepMacs     float64
 
 	// forward all-to-all volume accounting across all steps.
 	fwdRawBytes  int64
@@ -219,6 +238,27 @@ func NewTrainer(opts Options) (*Trainer, error) {
 	}
 	for _, p := range t.replicas[0].m.DenseParams() {
 		t.numParams += len(p.Value)
+	}
+
+	// Build the steady-state step machinery: owned-table lists, the codec
+	// worker budget, the rank-indexed accounting scratch, and one workspace
+	// per rank (each caching its replica's parameter list — the Param
+	// headers are rebuilt identically by every DenseParams call, but the
+	// underlying value/grad slices are stable for the trainer's lifetime).
+	t.owned = make([][]int, opts.Ranks)
+	for tb := 0; tb < numTables; tb++ {
+		r := t.owner(tb)
+		t.owned[r] = append(t.owned[r], tb)
+	}
+	t.codecWorkers = opts.CodecWorkers
+	if t.codecWorkers == 0 {
+		t.codecWorkers = min(max(runtime.GOMAXPROCS(0)/opts.Ranks, 1), 8)
+	}
+	t.scr = newStepScratch(opts.Ranks)
+	t.ws = make([]*stepWorkspace, opts.Ranks)
+	t.stepMacs = stepMacsFor(opts.Model)
+	for r := 0; r < opts.Ranks; r++ {
+		t.ws[r] = newStepWorkspace(opts.Ranks, numTables, t.numParams, t.replicas[r].m.DenseParams())
 	}
 	return t, nil
 }

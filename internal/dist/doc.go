@@ -23,8 +23,13 @@
 //     (Options.Net, a netmodel.Topology), all-to-all algorithm
 //     (Options.Algo), device rates, codec and controller hooks.
 //   - Trainer — NewTrainer validates the options and builds the sharded
-//     state; Step runs one synchronous iteration; Evaluate scores the
-//     trained weights single-process.
+//     state plus the per-rank step workspaces (workspace.go: fused frame
+//     buffers, per-table codec scratch, lookup/gradient matrices, the
+//     flattened allreduce buffer), so steady-state stepping performs only
+//     a small bounded number of allocations (pinned by the allocs-gate
+//     tests). Step runs one synchronous iteration, fanning per-table
+//     codec work across Options.CodecWorkers intra-rank workers;
+//     Evaluate scores the trained weights single-process.
 //
 // Two drivers share the same step internals and therefore the same math
 // and the same buckets:

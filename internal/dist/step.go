@@ -9,16 +9,16 @@ import (
 	"dlrmcomp/internal/codec"
 	"dlrmcomp/internal/criteo"
 	"dlrmcomp/internal/embedding"
+	"dlrmcomp/internal/model"
 	"dlrmcomp/internal/netmodel"
 	"dlrmcomp/internal/nn"
 	"dlrmcomp/internal/tensor"
 )
 
-// shardBounds splits n samples into R contiguous shards; the first n%R
-// shards hold one extra sample.
-func shardBounds(n, ranks int) (start, count []int) {
-	start = make([]int, ranks)
-	count = make([]int, ranks)
+// shardBoundsInto splits n samples into len(start) contiguous shards; the
+// first n%R shards hold one extra sample.
+func shardBoundsInto(n int, start, count []int) {
+	ranks := len(start)
 	base, rem := n/ranks, n%ranks
 	s := 0
 	for r := 0; r < ranks; r++ {
@@ -29,36 +29,43 @@ func shardBounds(n, ranks int) (start, count []int) {
 		start[r], count[r] = s, c
 		s += c
 	}
+}
+
+// shardBounds is the allocating form of shardBoundsInto.
+func shardBounds(n, ranks int) (start, count []int) {
+	start = make([]int, ranks)
+	count = make([]int, ranks)
+	shardBoundsInto(n, start, count)
 	return start, count
 }
 
-// shardRows copies rows [start, start+cnt) of m into a new matrix.
-func shardRows(m *tensor.Matrix, start, cnt int) *tensor.Matrix {
-	out := tensor.NewMatrix(cnt, m.Cols)
-	copy(out.Data, m.Data[start*m.Cols:(start+cnt)*m.Cols])
-	return out
+// stepFlops models one rank's MLP forward+backward FLOPs for a shard of the
+// given size: samples × the per-sample MAC total computed once in
+// NewTrainer (each MAC costs 2 FLOPs forward and 4 backward, including the
+// pairwise-dot feature interaction).
+func (t *Trainer) stepFlops(samples int) float64 {
+	return 6 * t.stepMacs * float64(samples)
 }
 
-// stepFlops models one rank's MLP forward+backward FLOPs for a shard of the
-// given size: each MAC costs 2 FLOPs forward and 4 backward (dW and dX),
-// plus the pairwise-dot feature interaction at the same 3x ratio.
-func (t *Trainer) stepFlops(samples int) float64 {
-	cfg := t.opts.Model
+// stepMacsFor computes the per-sample MAC count of cfg's MLPs and feature
+// interaction (dW and dX double-count handled by stepFlops's factor).
+func stepMacsFor(cfg model.Config) float64 {
 	macs := 0
 	prev := cfg.DenseFeatures
-	for _, h := range append(append([]int{}, cfg.BottomMLP...), cfg.EmbeddingDim) {
+	for _, h := range cfg.BottomMLP {
 		macs += prev * h
 		prev = h
 	}
+	macs += prev * cfg.EmbeddingDim
 	f := len(cfg.TableSizes) + 1
-	interIn := cfg.EmbeddingDim + f*(f-1)/2
-	prev = interIn
-	for _, h := range append(append([]int{}, cfg.TopMLP...), 1) {
+	prev = cfg.EmbeddingDim + f*(f-1)/2 // interaction output feeds the top MLP
+	for _, h := range cfg.TopMLP {
 		macs += prev * h
 		prev = h
 	}
+	macs += prev * 1
 	macs += f * (f - 1) / 2 * cfg.EmbeddingDim // interaction dots
-	return 6 * float64(macs) * float64(samples)
+	return float64(macs)
 }
 
 // stepStats decomposes one training step into the modelled durations of
@@ -99,6 +106,12 @@ func (s stepStats) serial() time.Duration {
 // fails (e.g. a codec error), the step completes its collectives but
 // applies no parameter updates, so an errored Step leaves the model as it
 // was.
+//
+// Every buffer the step touches lives in per-rank workspaces allocated in
+// NewTrainer, so steady-state stepping performs only a small, bounded
+// number of allocations (goroutine fan-out and collective handles); the
+// per-table codec work inside a rank fans out across the trainer's codec
+// workers when cores are spare.
 func (t *Trainer) Step(b *criteo.Batch) (float32, error) {
 	loss, _, err := t.runStep(b)
 	return loss, err
@@ -138,9 +151,10 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 		}
 	}
 
-	start, count := shardBounds(n, ranks)
-	losses := make([]float32, ranks)
-	errs := make([]error, ranks)
+	sc := &t.scr
+	sc.reset()
+	shardBoundsInto(n, sc.start, sc.count)
+	start, count := sc.start, sc.count
 	// st collects the step's modelled component costs. Collective costs are
 	// written by rank 0's goroutine only; device components are filled in
 	// after the fan-out joins. Run's WaitGroup orders both against the
@@ -150,105 +164,150 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 	// finish its collectives (keeping the barriers aligned) without
 	// applying any update — an errored Step leaves the model untouched.
 	var failed atomic.Bool
-	compDur := make([]time.Duration, ranks)
-	decompDur := make([]time.Duration, ranks)
-	lookupBytes := make([]int64, ranks)
-	fwdRaw := make([]int64, ranks)
-	fwdComp := make([]int64, ranks)
 
 	t.cl.Run(func(rank *cluster.Rank) {
 		r := rank.ID
+		ws := t.ws[r]
 		fail := func(err error) {
-			if errs[r] == nil {
-				errs[r] = err
+			if sc.errs[r] == nil {
+				sc.errs[r] = err
 			}
 			failed.Store(true)
 		}
 
 		// --- stage 1: owners gather lookups, compress, fuse, exchange ---
 		cnt := count[r]
-		lookups := make([]*tensor.Matrix, numTables)
-		send := make([][]byte, ranks)
-		for tb := 0; tb < numTables; tb++ {
-			if t.owner(tb) != r {
-				continue
-			}
+		for tb := range ws.got {
+			ws.got[tb] = false
+			ws.gotGrad[tb] = false
+		}
+		owned := t.owned[r]
+		t.parallelDo(len(owned), func(k int) {
+			tb := owned[k]
+			ws.tblErr[tb] = nil
+			ws.tblCompDur[tb] = 0
+			ws.tblRawBytes[tb], ws.tblCmpBytes[tb] = 0, 0
 			tab := t.tmpl.Emb.Tables[tb]
-			lookupBytes[r] += int64(n) * int64(dim) * 4
+			c := t.codecFor(tb)
 			for dst := 0; dst < ranks; dst++ {
+				buf := ws.tblFrame[tb][dst][:0]
+				ws.tblFrame[tb][dst] = buf
 				if count[dst] == 0 {
 					continue
 				}
 				idx := b.Indices[tb][start[dst] : start[dst]+count[dst]]
-				chunk := tab.Lookup(idx)
 				if dst == r {
 					// The local shard never crosses the wire (and is never
-					// compressed): hand the matrix over directly.
-					lookups[tb] = chunk
+					// compressed): gather it straight into the lookup slot.
+					ws.lookups[tb] = ws.lookups[tb].Resize(count[dst], dim)
+					tab.LookupInto(ws.lookups[tb], idx)
+					ws.got[tb] = true
 					continue
 				}
-				c := t.codecFor(tb)
+				ws.tblChunk[tb] = ws.tblChunk[tb].Resize(count[dst], dim)
+				chunk := ws.tblChunk[tb]
+				tab.LookupInto(chunk, idx)
 				if c == nil {
-					send[dst] = appendFrame(send[dst], tb, encRaw, floatsToBytes(chunk.Data))
+					ws.tblFrame[tb][dst] = appendFrameFloats(buf, tb, chunk.Data)
 					continue
 				}
-				frame, err := c.Compress(chunk.Data, dim)
+				framed, hdrOff := appendFrameHeader(buf, tb, encCodec)
+				out, err := codec.CompressAppend(c, framed, chunk.Data, dim)
 				if err != nil {
 					// Record the failure but keep the exchange aligned by
 					// falling back to the raw payload.
-					fail(fmt.Errorf("dist: rank %d table %d compress: %w", r, tb, err))
-					send[dst] = appendFrame(send[dst], tb, encRaw, floatsToBytes(chunk.Data))
+					if ws.tblErr[tb] == nil {
+						ws.tblErr[tb] = fmt.Errorf("dist: rank %d table %d compress: %w", r, tb, err)
+					}
+					ws.tblFrame[tb][dst] = appendFrameFloats(ws.tblFrame[tb][dst][:0], tb, chunk.Data)
 					continue
 				}
+				patchFrameLen(out, hdrOff)
+				ws.tblFrame[tb][dst] = out
 				raw := int64(len(chunk.Data)) * 4
-				compDur[r] += netmodel.CodecTime(raw, t.rates[tb].Compress)
-				fwdRaw[r] += raw
-				fwdComp[r] += int64(len(frame))
-				send[dst] = appendFrame(send[dst], tb, encCodec, frame)
+				ws.tblCompDur[tb] += netmodel.CodecTime(raw, t.rates[tb].Compress)
+				ws.tblRawBytes[tb] += raw
+				ws.tblCmpBytes[tb] += int64(len(out) - hdrOff - frameHeaderBytes)
+			}
+		})
+		// Fuse the per-table frames into one buffer per peer, in table
+		// order, so the wire bytes match the sequential path exactly.
+		for dst := 0; dst < ranks; dst++ {
+			ws.send[dst] = ws.send[dst][:0]
+		}
+		sc.lookupBytes[r] = int64(len(owned)) * int64(n) * int64(dim) * 4
+		for _, tb := range owned {
+			if ws.tblErr[tb] != nil {
+				fail(ws.tblErr[tb])
+			}
+			sc.compDur[r] += ws.tblCompDur[tb]
+			sc.fwdRaw[r] += ws.tblRawBytes[tb]
+			sc.fwdComp[r] += ws.tblCmpBytes[tb]
+			for dst := 0; dst < ranks; dst++ {
+				if len(ws.tblFrame[tb][dst]) > 0 {
+					ws.send[dst] = append(ws.send[dst], ws.tblFrame[tb][dst]...)
+				}
 			}
 		}
-		fwdOp := rank.IAllToAllV(send, t.anyCodec, "fwd-a2a", t.opts.Algo)
+		fwdOp := rank.IAllToAllV(ws.send, t.anyCodec, "fwd-a2a", t.opts.Algo)
 		recv := fwdOp.Await()
 		if r == 0 {
 			st.fwd = fwdOp.Cost()
 		}
 
 		// --- stage 2: reconstruct the local shard's lookups ---
+		ws.decJobs = ws.decJobs[:0]
 		for from := 0; from < ranks; from++ {
 			err := parseFrames(recv[from], func(tb int, enc byte, payload []byte) error {
 				if tb < 0 || tb >= numTables {
 					return fmt.Errorf("dist: frame for unknown table %d", tb)
 				}
-				m := tensor.NewMatrix(cnt, dim)
-				switch enc {
-				case encRaw:
-					if err := bytesToFloats(m.Data, payload); err != nil {
-						return err
-					}
-				case encCodec:
-					vals, gotDim, err := t.codecFor(tb).Decompress(payload)
-					if err != nil {
-						return fmt.Errorf("dist: table %d decompress: %w", tb, err)
-					}
-					if gotDim != dim || len(vals) != cnt*dim {
-						return fmt.Errorf("dist: table %d reconstruction is %dx%d, want %dx%d",
-							tb, len(vals)/max(gotDim, 1), gotDim, cnt, dim)
-					}
-					copy(m.Data, vals)
-					decompDur[r] += netmodel.CodecTime(int64(len(vals))*4, t.rates[tb].Decompress)
-				default:
-					return fmt.Errorf("dist: unknown frame encoding %d", enc)
+				if ws.got[tb] {
+					return fmt.Errorf("dist: duplicate lookup frame for table %d at rank %d", tb, r)
 				}
-				lookups[tb] = m
+				ws.got[tb] = true
+				ws.decJobs = append(ws.decJobs, decJob{tb: tb, enc: enc, payload: payload})
 				return nil
 			})
 			if err != nil {
 				fail(err)
 			}
 		}
-		if cnt > 0 && errs[r] == nil {
-			for tb := range lookups {
-				if lookups[tb] == nil {
+		t.parallelDo(len(ws.decJobs), func(k int) {
+			j := ws.decJobs[k]
+			tb := j.tb
+			ws.tblErr[tb] = nil
+			ws.tblDecDur[tb] = 0
+			m := ws.lookups[tb].Resize(cnt, dim)
+			ws.lookups[tb] = m
+			switch j.enc {
+			case encRaw:
+				if err := bytesToFloats(m.Data, j.payload); err != nil {
+					ws.tblErr[tb] = err
+				}
+			case encCodec:
+				gotDim, err := codec.DecompressInto(t.codecFor(tb), m.Data, j.payload)
+				switch {
+				case err != nil:
+					ws.tblErr[tb] = fmt.Errorf("dist: table %d decompress: %w", tb, err)
+				case gotDim != dim:
+					ws.tblErr[tb] = fmt.Errorf("dist: table %d reconstruction has dim %d, want %d", tb, gotDim, dim)
+				default:
+					ws.tblDecDur[tb] = netmodel.CodecTime(int64(cnt*dim)*4, t.rates[tb].Decompress)
+				}
+			default:
+				ws.tblErr[tb] = fmt.Errorf("dist: unknown frame encoding %d", j.enc)
+			}
+		})
+		for _, j := range ws.decJobs {
+			if ws.tblErr[j.tb] != nil {
+				fail(ws.tblErr[j.tb])
+			}
+			sc.decompDur[r] += ws.tblDecDur[j.tb]
+		}
+		if cnt > 0 && sc.errs[r] == nil {
+			for tb := range ws.lookups {
+				if !ws.got[tb] {
 					fail(fmt.Errorf("dist: rank %d received no lookups for table %d", r, tb))
 					break
 				}
@@ -259,49 +318,56 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 		var dLookups []*tensor.Matrix
 		rp := t.replicas[r]
 		rp.m.ZeroGrad() // ranks without samples contribute zero gradients
-		if cnt > 0 && errs[r] == nil {
+		if cnt > 0 && sc.errs[r] == nil {
 			if t.fwdHook != nil {
 				for tb := 0; tb < numTables; tb++ {
-					t.fwdHook(r, tb, lookups[tb], b.Indices[tb][start[r]:start[r]+cnt])
+					t.fwdHook(r, tb, ws.lookups[tb], b.Indices[tb][start[r]:start[r]+cnt])
 				}
 			}
-			dense := shardRows(b.Dense, start[r], cnt)
+			// The dense shard aliases the batch's contiguous row range: the
+			// model only reads its inputs, so no defensive copy is needed.
+			dense := ws.denseView
+			dense.Rows, dense.Cols = cnt, b.Dense.Cols
+			dense.Data = b.Dense.Data[start[r]*b.Dense.Cols : (start[r]+cnt)*b.Dense.Cols]
 			labels := b.Labels[start[r] : start[r]+cnt]
-			logits := rp.m.ForwardFromLookups(dense, lookups)
-			loss, dLogits := nn.BCEWithLogits(logits, labels)
-			losses[r] = loss
+			logits := rp.m.ForwardFromLookups(dense, ws.lookups)
+			ws.dLogits = ws.dLogits.Resize(cnt, 1)
+			loss := nn.BCEWithLogitsInto(ws.dLogits, logits, labels)
+			sc.losses[r] = loss
 			// BCEWithLogits divides by the shard size; rescale so the
 			// summed gradients equal the global-batch mean.
 			if cnt != n {
-				tensor.Scale(float32(cnt)/float32(n), dLogits.Data)
+				tensor.Scale(float32(cnt)/float32(n), ws.dLogits.Data)
 			}
-			dLookups = rp.m.Backward(dLogits)
+			dLookups = rp.m.Backward(ws.dLogits)
 		}
 
 		// --- stage 4: backward all-to-all routes lookup grads to owners ---
-		send2 := make([][]byte, ranks)
+		for dst := 0; dst < ranks; dst++ {
+			ws.send2[dst] = ws.send2[dst][:0]
+		}
 		if dLookups != nil {
 			for tb := 0; tb < numTables; tb++ {
 				dst := t.owner(tb)
-				send2[dst] = appendFrame(send2[dst], tb, encRaw, floatsToBytes(dLookups[tb].Data))
+				ws.send2[dst] = appendFrameFloats(ws.send2[dst], tb, dLookups[tb].Data)
 			}
 		}
-		bwdOp := rank.IAllToAllV(send2, false, "bwd-a2a", t.opts.Algo)
+		bwdOp := rank.IAllToAllV(ws.send2, false, "bwd-a2a", t.opts.Algo)
 		recv2 := bwdOp.Await()
 		if r == 0 {
 			st.bwd = bwdOp.Cost()
 		}
 
-		grads := make(map[int]*tensor.Matrix) // owned table -> [n, dim]
 		for from := 0; from < ranks; from++ {
 			err := parseFrames(recv2[from], func(tb int, enc byte, payload []byte) error {
 				if tb < 0 || tb >= numTables || t.owner(tb) != r || enc != encRaw {
 					return fmt.Errorf("dist: bad gradient frame (table %d, enc %d) at rank %d", tb, enc, r)
 				}
-				g, ok := grads[tb]
-				if !ok {
-					g = tensor.NewMatrix(n, dim)
-					grads[tb] = g
+				g := ws.gradOf[tb]
+				if !ws.gotGrad[tb] {
+					g = g.Resize(n, dim)
+					ws.gradOf[tb] = g
+					ws.gotGrad[tb] = true
 				}
 				rows := g.Data[start[from]*dim : (start[from]+count[from])*dim]
 				return bytesToFloats(rows, payload)
@@ -316,32 +382,29 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 			// Scatter in table order so duplicate-index accumulation
 			// matches the single-process trainer.
 			for tb := 0; tb < numTables; tb++ {
-				g, ok := grads[tb]
-				if !ok {
+				if t.owner(tb) != r || !ws.gotGrad[tb] {
 					continue
 				}
 				t.tmpl.Emb.Tables[tb].ApplySGD(
-					embedding.SparseGrad{Indices: b.Indices[tb], Grad: g}, t.opts.EmbLR)
+					embedding.SparseGrad{Indices: b.Indices[tb], Grad: ws.gradOf[tb]}, t.opts.EmbLR)
 			}
 		}
 
 		// --- stage 5: data-parallel gradient AllReduce + optimizer ---
-		params := rp.m.DenseParams()
-		buf := make([]float32, t.numParams)
-		flattenGrads(params, buf)
-		arOp := rank.IAllReduceSum(buf, "allreduce")
+		flattenGrads(ws.params, ws.gradBuf)
+		arOp := rank.IAllReduceSum(ws.gradBuf, "allreduce")
 		arOp.Await()
 		if r == 0 {
 			st.allreduce = arOp.Cost()
 		}
 		// The allreduce barrier also publishes stage-4 failures.
 		if !failed.Load() {
-			unflattenGrads(buf, params)
-			rp.opt.Step(params)
+			unflattenGrads(ws.gradBuf, ws.params)
+			rp.opt.Step(ws.params)
 		}
 	})
 
-	for _, err := range errs {
+	for _, err := range sc.errs {
 		if err != nil {
 			return 0, stepStats{}, err
 		}
@@ -359,27 +422,27 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 		st.other = time.Duration(t.opts.OtherComputeFactor * float64(st.mlp))
 		t.cl.AddSimTime("other", st.other)
 	}
-	st.lookup = t.opts.Device.LookupTime(maxInt64(lookupBytes))
+	st.lookup = t.opts.Device.LookupTime(maxInt64(sc.lookupBytes))
 	t.cl.AddSimTime("lookup", st.lookup)
-	if d := maxDur(compDur); d > 0 {
+	if d := maxDur(sc.compDur); d > 0 {
 		st.compress = d
 		t.cl.AddSimTime("compress", d)
 	}
-	if d := maxDur(decompDur); d > 0 {
+	if d := maxDur(sc.decompDur); d > 0 {
 		st.decompress = d
 		t.cl.AddSimTime("decompress", d)
 	}
 	for r := 0; r < ranks; r++ {
-		t.fwdRawBytes += fwdRaw[r]
-		t.fwdCompBytes += fwdComp[r]
+		t.fwdRawBytes += sc.fwdRaw[r]
+		t.fwdCompBytes += sc.fwdComp[r]
 	}
 
 	if ranks == 1 {
-		return losses[0], st, nil
+		return sc.losses[0], st, nil
 	}
 	var loss float64
 	for r := 0; r < ranks; r++ {
-		loss += float64(losses[r]) * float64(count[r])
+		loss += float64(sc.losses[r]) * float64(count[r])
 	}
 	return float32(loss / float64(n)), st, nil
 }

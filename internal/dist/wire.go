@@ -32,6 +32,41 @@ func appendFrame(dst []byte, table int, enc byte, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// appendFrameHeader reserves a frame header at the end of dst, returning the
+// grown buffer and the header's offset. The payload length is unknown until
+// the payload is appended; patchFrameLen fills it in. This is how the
+// workspace path frames codec output without a detour through a temporary
+// payload slice.
+func appendFrameHeader(dst []byte, table int, enc byte) ([]byte, int) {
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(table))
+	hdr[4] = enc
+	return append(dst, hdr[:]...), len(dst)
+}
+
+// patchFrameLen records the length of the payload appended after the header
+// at off.
+func patchFrameLen(dst []byte, off int) {
+	binary.LittleEndian.PutUint32(dst[off+5:off+9], uint32(len(dst)-off-frameHeaderBytes))
+}
+
+// appendFrameFloats appends a raw-encoded frame holding vals, serializing
+// the floats straight into dst (the zero-allocation twin of
+// appendFrame(dst, table, encRaw, floatsToBytes(vals))): one grow, then
+// fixed-offset stores.
+func appendFrameFloats(dst []byte, table int, vals []float32) []byte {
+	o := len(dst)
+	dst = append(dst, make([]byte, frameHeaderBytes+4*len(vals))...)
+	binary.LittleEndian.PutUint32(dst[o:o+4], uint32(table))
+	dst[o+4] = encRaw
+	binary.LittleEndian.PutUint32(dst[o+5:o+9], uint32(4*len(vals)))
+	o += frameHeaderBytes
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(dst[o+4*i:], math.Float32bits(v))
+	}
+	return dst
+}
+
 // parseFrames walks the fused buffer, invoking fn once per frame.
 func parseFrames(buf []byte, fn func(table int, enc byte, payload []byte) error) error {
 	for len(buf) > 0 {

@@ -10,6 +10,13 @@ type BitWriter struct {
 // NewBitWriter returns an empty writer.
 func NewBitWriter() *BitWriter { return &BitWriter{} }
 
+// Reset empties the writer, keeping the accumulated buffer's capacity so a
+// reused writer reaches a zero-allocation steady state.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
 // WriteBits appends the low n bits of v (MSB of those n bits first).
 func (w *BitWriter) WriteBits(v uint64, n uint) {
 	if n > 57 {
@@ -48,6 +55,12 @@ type BitReader struct {
 
 // NewBitReader wraps data.
 func NewBitReader(data []byte) *BitReader { return &BitReader{data: data} }
+
+// Reset points the reader at data, clearing any buffered bits. A stack- or
+// workspace-held BitReader can be Reset per frame instead of reallocated.
+func (r *BitReader) Reset(data []byte) {
+	r.data, r.pos, r.cur, r.nCur = data, 0, 0, 0
+}
 
 // ReadBits reads n bits (n <= 57), returning them right-aligned. Reading
 // past the end yields zero bits, which callers bound by symbol counts.

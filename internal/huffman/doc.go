@@ -16,5 +16,9 @@
 //
 // Key API: Encode/Decode over []uint32 symbols (zigzagged quantization
 // bins), CompressedSize for the selection models, plus the bitio
-// reader/writer primitives shared with the other entropy stages.
+// reader/writer primitives shared with the other entropy stages. The
+// buffered twins Encoder.AppendEncode and Decoder.DecodeInto (append.go)
+// emit and consume byte-identical frames with reusable workspaces (zero
+// steady-state allocation); SymbolCount sizes a DecodeInto destination
+// without decoding.
 package huffman

@@ -1,0 +1,161 @@
+package hybrid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/huffman"
+	"dlrmcomp/internal/quant"
+	"dlrmcomp/internal/vlz"
+)
+
+// This file implements codec.BufferedCodec for the hybrid compressor: the
+// same frames as Compress/Decompress (byte-identical, pinned by tests), but
+// with every scratch buffer — the quantize-code array, the zigzag symbol
+// array, the sub-encoder workspaces, and the Auto-mode candidate frame —
+// drawn from a pool and reused, so steady-state operation performs no heap
+// allocation. Pooling (rather than per-Codec fields) keeps one codec
+// instance safe for concurrent use, which the trainer relies on: a table's
+// codec is shared by every rank goroutine and by the intra-rank codec
+// workers.
+
+// workspace bundles the reusable state of one in-flight compress or
+// decompress call.
+type workspace struct {
+	codes []int32
+	syms  []uint32
+	alt   []byte // Auto-mode second-candidate payload
+	venc  *vlz.Encoder
+	vdec  *vlz.Decoder
+	henc  *huffman.Encoder
+	hdec  *huffman.Decoder
+}
+
+var wsPool = sync.Pool{New: func() any {
+	return &workspace{
+		venc: vlz.New(0),
+		vdec: vlz.NewDecoder(),
+		henc: huffman.NewEncoder(),
+		hdec: huffman.NewDecoder(),
+	}
+}}
+
+func (ws *workspace) sizedCodes(n int) []int32 {
+	if cap(ws.codes) < n {
+		ws.codes = make([]int32, n)
+	}
+	ws.codes = ws.codes[:n]
+	return ws.codes
+}
+
+func (ws *workspace) sizedSyms(n int) []uint32 {
+	if cap(ws.syms) < n {
+		ws.syms = make([]uint32, n)
+	}
+	ws.syms = ws.syms[:n]
+	return ws.syms
+}
+
+// CompressAppend implements codec.BufferedCodec: it appends exactly the
+// frame Compress would return. In Auto mode both sub-encoders still run —
+// the choice needs both sizes — but the loser lives only in a reused
+// candidate buffer instead of a fresh allocation. On error the appended
+// bytes are undefined; callers must discard dst.
+func (c *Codec) CompressAppend(dst []byte, src []float32, dim int) ([]byte, error) {
+	if dim <= 0 || len(src)%dim != 0 {
+		return nil, fmt.Errorf("hybrid: bad shape len=%d dim=%d", len(src), dim)
+	}
+	if c.EB <= 0 {
+		return nil, fmt.Errorf("hybrid: error bound %v must be positive", c.EB)
+	}
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	codes := ws.sizedCodes(len(src))
+	quant.New(c.EB).Quantize(codes, src)
+
+	base := len(dst)
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:], math.Float32bits(c.EB))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(src)))
+	dst = append(dst, hdr[:]...)
+	payloadStart := len(dst)
+
+	sub := byte(subVLZ)
+	switch c.Mode {
+	case VectorLZ:
+		ws.venc.Window = c.Window
+		var err error
+		dst, err = ws.venc.AppendEncode(dst, codes, dim)
+		if err != nil {
+			return nil, err
+		}
+	case Entropy:
+		syms := ws.sizedSyms(len(codes))
+		quant.ZigZagInto(syms, codes)
+		dst = ws.henc.AppendEncode(dst, syms)
+		sub = subEntropy
+	default: // Auto: pick the smaller frame, ties to vector-LZ as Compress does
+		ws.venc.Window = c.Window
+		var err error
+		dst, err = ws.venc.AppendEncode(dst, codes, dim)
+		if err != nil {
+			return nil, err
+		}
+		syms := ws.sizedSyms(len(codes))
+		quant.ZigZagInto(syms, codes)
+		ws.alt = ws.henc.AppendEncode(ws.alt[:0], syms)
+		if len(ws.alt) < len(dst)-payloadStart {
+			dst = append(dst[:payloadStart], ws.alt...)
+			sub = subEntropy
+		}
+	}
+	dst[base+12] = sub
+	return dst, nil
+}
+
+// DecompressInto implements codec.BufferedCodec: dst must hold exactly the
+// frame's value count; the reconstruction is identical to Decompress.
+func (c *Codec) DecompressInto(dst []float32, frame []byte) (int, error) {
+	if len(frame) < 13 {
+		return 0, errCorrupt
+	}
+	eb := math.Float32frombits(binary.LittleEndian.Uint32(frame[0:]))
+	dim := int(binary.LittleEndian.Uint32(frame[4:]))
+	n := int(binary.LittleEndian.Uint32(frame[8:]))
+	sub := frame[12]
+	if eb <= 0 || dim <= 0 || n < 0 || n%max(dim, 1) != 0 {
+		return 0, errCorrupt
+	}
+	if n != len(dst) {
+		return 0, fmt.Errorf("hybrid: frame holds %d values, destination holds %d", n, len(dst))
+	}
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	codes := ws.sizedCodes(n)
+	switch sub {
+	case subVLZ:
+		gotDim, err := ws.vdec.DecodeInto(codes, frame[13:])
+		if err != nil {
+			return 0, err
+		}
+		if gotDim != dim {
+			return 0, errCorrupt
+		}
+	case subEntropy:
+		syms := ws.sizedSyms(n)
+		if _, err := ws.hdec.DecodeInto(syms, frame[13:]); err != nil {
+			return 0, err
+		}
+		quant.UnZigZagInto(codes, syms)
+	default:
+		return 0, errCorrupt
+	}
+	quant.New(eb).Dequantize(dst, codes)
+	return dim, nil
+}
+
+var _ codec.BufferedCodec = (*Codec)(nil)

@@ -12,7 +12,14 @@
 // "ours-huffman" when a mode is forced).
 //
 // Key types: Codec (New(eb, mode)), Mode (Auto / VectorLZ / Entropy),
-// SelectEncoder (Algorithm 2's offline per-table choice), and
+// SelectEncoder (Algorithm 2's offline per-table choice, timed best-of-3
+// through the buffered path so the decision is noise-stable), and
 // Speedup/Throughput, the Eq. (2) communication speed-up model used by
 // both the offline phase and the fig11 experiment.
+//
+// Codec also implements codec.BufferedCodec: CompressAppend/DecompressInto
+// produce byte-identical frames and value-identical reconstructions to
+// Compress/Decompress while drawing every scratch buffer from a pooled
+// workspace, so the trainer's steady-state codec work performs no heap
+// allocation and one shared instance stays goroutine-safe.
 package hybrid

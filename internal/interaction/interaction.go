@@ -16,6 +16,12 @@ type DotInteraction struct {
 	// cached inputs for backward
 	dense  *tensor.Matrix
 	sparse []*tensor.Matrix
+
+	// Reused output buffers (layer-owned scratch, valid until the next
+	// Forward/Backward — the same contract as nn.Linear).
+	out     *tensor.Matrix
+	dDense  *tensor.Matrix
+	dSparse []*tensor.Matrix
 }
 
 // NewDotInteraction builds the layer for numSparse embedding features of
@@ -56,7 +62,8 @@ func (di *DotInteraction) Forward(dense *tensor.Matrix, sparse []*tensor.Matrix)
 	di.dense = dense
 	di.sparse = sparse
 
-	out := tensor.NewMatrix(n, di.OutDim())
+	di.out = di.out.Resize(n, di.OutDim())
+	out := di.out
 	f := di.NumSparse + 1
 	for i := 0; i < n; i++ {
 		row := out.Row(i)
@@ -83,11 +90,18 @@ func (di *DotInteraction) Backward(dOut *tensor.Matrix) (dDense *tensor.Matrix, 
 	if dOut.Rows != n || dOut.Cols != di.OutDim() {
 		panic("interaction: Backward shape mismatch")
 	}
-	dDense = tensor.NewMatrix(n, di.Dim)
-	dSparse = make([]*tensor.Matrix, di.NumSparse)
-	for t := range dSparse {
-		dSparse[t] = tensor.NewMatrix(n, di.Dim)
+	// dDense needs no zeroing: the pass-through copy below fully overwrites
+	// each row before any dot gradient accumulates into it.
+	di.dDense = di.dDense.Resize(n, di.Dim)
+	dDense = di.dDense
+	if di.dSparse == nil {
+		di.dSparse = make([]*tensor.Matrix, di.NumSparse)
 	}
+	for t := range di.dSparse {
+		di.dSparse[t] = di.dSparse[t].Resize(n, di.Dim)
+		di.dSparse[t].Zero()
+	}
+	dSparse = di.dSparse
 	gradOf := func(k, i int) []float32 {
 		if k == 0 {
 			return dDense.Row(i)

@@ -134,7 +134,9 @@ func TestForwardFromLookupsMatchesForward(t *testing.T) {
 			indices[ti][i] = int32(rng.Intn(card))
 		}
 	}
-	l1 := m.Forward(dense, indices)
+	// Clone: Forward returns model-owned scratch that the second forward
+	// would otherwise overwrite (and trivially equal).
+	l1 := m.Forward(dense, indices).Clone()
 	lookups := m.Emb.LookupAll(indices)
 	l2 := m.ForwardFromLookups(dense, lookups)
 	if !l1.Equal(l2, 1e-6) {

@@ -18,6 +18,14 @@ type Linear struct {
 	GradB []float32
 
 	x *tensor.Matrix // cached input for backward
+
+	// Reused output/scratch buffers (resized per batch). Forward and
+	// Backward return layer-owned matrices that stay valid only until the
+	// layer's next Forward/Backward call — the train-step hot path frames or
+	// consumes them within the step, so steady-state training allocates
+	// nothing here.
+	y, gw, dX *tensor.Matrix
+	gb        []float32
 }
 
 // NewLinear constructs a layer with He-uniform initialized weights, the
@@ -38,33 +46,38 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 }
 
 // Forward computes the affine transform for a batch x of shape [n, In].
+// The returned matrix is layer-owned scratch, valid until the next Forward.
 func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear expects %d inputs, got %d", l.In, x.Cols))
 	}
 	l.x = x
-	y := tensor.NewMatrix(x.Rows, l.Out)
-	tensor.MatMulTransB(y, x, l.W)
-	tensor.AddRowVec(y, l.B)
-	return y
+	l.y = l.y.Resize(x.Rows, l.Out)
+	tensor.MatMulTransB(l.y, x, l.W)
+	tensor.AddRowVec(l.y, l.B)
+	return l.y
 }
 
 // Backward accumulates parameter gradients from dY (shape [n, Out]) and
-// returns dX (shape [n, In]).
+// returns dX (shape [n, In], layer-owned scratch valid until the next
+// Backward).
 func (l *Linear) Backward(dY *tensor.Matrix) *tensor.Matrix {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
 	// GradW += dYᵀ @ x ; GradB += colsums(dY) ; dX = dY @ W
-	gw := tensor.NewMatrix(l.Out, l.In)
-	tensor.MatMulTransA(gw, dY, l.x)
-	tensor.Axpy(1, gw.Data, l.GradW.Data)
-	gb := make([]float32, l.Out)
-	tensor.ColSums(gb, dY)
-	tensor.Axpy(1, gb, l.GradB)
-	dX := tensor.NewMatrix(dY.Rows, l.In)
-	tensor.MatMul(dX, dY, l.W)
-	return dX
+	l.gw = l.gw.Resize(l.Out, l.In)
+	tensor.MatMulTransA(l.gw, dY, l.x)
+	tensor.Axpy(1, l.gw.Data, l.GradW.Data)
+	if cap(l.gb) < l.Out {
+		l.gb = make([]float32, l.Out)
+	}
+	l.gb = l.gb[:l.Out]
+	tensor.ColSums(l.gb, dY)
+	tensor.Axpy(1, l.gb, l.GradB)
+	l.dX = l.dX.Resize(dY.Rows, l.In)
+	tensor.MatMul(l.dX, dY, l.W)
+	return l.dX
 }
 
 // ZeroGrad clears accumulated gradients.

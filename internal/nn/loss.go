@@ -15,11 +15,21 @@ func expImpl(x float64) float64 { return math.Exp(x) }
 //	loss_i = max(z,0) - z*y + log(1 + exp(-|z|))
 //	dL/dz_i = (sigmoid(z) - y) / n
 func BCEWithLogits(logits *tensor.Matrix, labels []float32) (float32, *tensor.Matrix) {
+	grad := tensor.NewMatrix(logits.Rows, 1)
+	return BCEWithLogitsInto(grad, logits, labels), grad
+}
+
+// BCEWithLogitsInto is BCEWithLogits writing dL/dz into a caller-owned grad
+// matrix (shape [n, 1]) — the allocation-free variant the train-step
+// workspace uses. Returns the mean loss.
+func BCEWithLogitsInto(grad, logits *tensor.Matrix, labels []float32) float32 {
 	if logits.Cols != 1 || logits.Rows != len(labels) {
 		panic("nn: BCEWithLogits expects [n,1] logits matching labels")
 	}
+	if grad.Cols != 1 || grad.Rows != logits.Rows {
+		panic("nn: BCEWithLogitsInto grad shape mismatch")
+	}
 	n := float64(len(labels))
-	grad := tensor.NewMatrix(logits.Rows, 1)
 	var total float64
 	for i, y := range labels {
 		z := float64(logits.Data[i])
@@ -29,7 +39,7 @@ func BCEWithLogits(logits *tensor.Matrix, labels []float32) (float32, *tensor.Ma
 		p := 1.0 / (1.0 + math.Exp(-z))
 		grad.Data[i] = float32((p - float64(y)) / n)
 	}
-	return float32(total / n), grad
+	return float32(total / n)
 }
 
 // Accuracy returns the fraction of rows where sigmoid(logit) >= 0.5 matches

@@ -7,11 +7,17 @@ import (
 // ReLU is the rectified-linear activation.
 type ReLU struct {
 	mask []bool
+
+	// Reused output buffers; see Linear for the scratch-ownership contract.
+	y, dX *tensor.Matrix
 }
 
-// Forward applies max(0, x) elementwise, returning a new matrix.
+// Forward applies max(0, x) elementwise. The returned matrix is layer-owned
+// scratch, valid until the next Forward.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := x.Clone()
+	r.y = r.y.Resize(x.Rows, x.Cols)
+	y := r.y
+	copy(y.Data, x.Data)
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
@@ -27,9 +33,12 @@ func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return y
 }
 
-// Backward zeroes gradient where the activation was clamped.
+// Backward zeroes gradient where the activation was clamped. The returned
+// matrix is layer-owned scratch, valid until the next Backward.
 func (r *ReLU) Backward(dY *tensor.Matrix) *tensor.Matrix {
-	dX := dY.Clone()
+	r.dX = r.dX.Resize(dY.Rows, dY.Cols)
+	dX := r.dX
+	copy(dX.Data, dY.Data)
 	for i := range dX.Data {
 		if !r.mask[i] {
 			dX.Data[i] = 0

@@ -15,5 +15,7 @@
 // codec's calibrated rates.
 //
 // Key types: Quantizer (New(eb), Quantize/Dequantize over []int32 codes)
-// and the ZigZag helpers shared with the entropy coders.
+// and the ZigZag helpers shared with the entropy coders — including the
+// allocation-free ZigZagInto/UnZigZagInto variants the buffered codec
+// path feeds from reusable workspace buffers.
 package quant

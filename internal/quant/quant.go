@@ -75,17 +75,35 @@ func UnZigZag(u uint32) int32 {
 // ZigZagSlice maps codes to symbols in place semantics via a new slice.
 func ZigZagSlice(codes []int32) []uint32 {
 	out := make([]uint32, len(codes))
-	for i, c := range codes {
-		out[i] = ZigZag(c)
-	}
+	ZigZagInto(out, codes)
 	return out
+}
+
+// ZigZagInto writes ZigZag(codes[i]) into dst[i] without allocating; dst and
+// codes must have equal length. This is the in-place-style variant the
+// buffered codec hot path uses (dst is a reusable workspace buffer).
+func ZigZagInto(dst []uint32, codes []int32) {
+	if len(dst) != len(codes) {
+		panic("quant: ZigZagInto length mismatch")
+	}
+	for i, c := range codes {
+		dst[i] = ZigZag(c)
+	}
 }
 
 // UnZigZagSlice inverts ZigZagSlice.
 func UnZigZagSlice(syms []uint32) []int32 {
 	out := make([]int32, len(syms))
-	for i, s := range syms {
-		out[i] = UnZigZag(s)
-	}
+	UnZigZagInto(out, syms)
 	return out
+}
+
+// UnZigZagInto inverts ZigZagInto; dst and syms must have equal length.
+func UnZigZagInto(dst []int32, syms []uint32) {
+	if len(dst) != len(syms) {
+		panic("quant: UnZigZagInto length mismatch")
+	}
+	for i, s := range syms {
+		dst[i] = UnZigZag(s)
+	}
 }

@@ -29,6 +29,25 @@ func FromSlice(rows, cols int, data []float32) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
 }
 
+// Resize reshapes m to rows×cols, reusing the backing array when it has the
+// capacity and reallocating (contents undefined) otherwise. The resized data
+// is NOT zeroed — callers own every element they read. Resize is the
+// workspace primitive behind the allocation-free train-step hot path: a nil
+// receiver is allowed and allocates, so `m = m.Resize(r, c)` works as a
+// lazily-grown per-step buffer.
+func (m *Matrix) Resize(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, n)}
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	return m
+}
+
 // Row returns the i-th row as a sub-slice (shared storage).
 func (m *Matrix) Row(i int) []float32 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]

@@ -1,0 +1,6 @@
+// Package testutil holds cross-package test helpers. Layer: leaf (imported
+// only from _test files). Its one export, RaceEnabled, lets allocation-
+// regression tests (testing.AllocsPerRun pins) skip themselves under the
+// race detector, whose instrumentation allocates and defeats sync.Pool
+// reuse; the race CI job covers concurrency, the quick job covers allocs.
+package testutil

@@ -23,4 +23,8 @@
 //
 // Key API: Encoder (New(window)) with its Encode method, the package-level
 // Decode, and DefaultWindow — the paper's 255-row setting swept in table6.
+// The buffered twins AppendEncode and Decoder.DecodeInto (append.go) emit
+// and consume byte-identical frames with reusable workspaces — zero
+// steady-state allocation, and O(1) amortized window eviction via a
+// sequence-numbered hash chain instead of Encode's O(window) index shift.
 package vlz

@@ -18,6 +18,12 @@ type Encoder struct {
 	// Window is the number of most recent distinct rows searched for a
 	// match. The paper sweeps 32/64/128/255 (Table VI).
 	Window int
+
+	// AppendEncode workspace (see append.go): the literal-row ring, its
+	// hash chain, and the hash heads, reused across calls.
+	ring []int
+	prev []int32
+	head map[uint64]int32
 }
 
 // New returns an Encoder with the given window (rows). window <= 0 selects
