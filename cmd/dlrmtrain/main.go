@@ -3,6 +3,10 @@
 // the loss curve, evaluation metrics, compression ratio, and the simulated
 // time breakdown (Fig. 1 / Fig. 12 style).
 //
+// The flags assemble a scenario.Spec; -scenario loads the same Spec from a
+// JSON file instead (see examples/scenarios/), so a committed file and a
+// flag invocation describing the same workload produce bit-identical runs.
+//
 // Usage:
 //
 //	dlrmtrain -dataset kaggle -ranks 8 -steps 200 -codec hybrid -eb 0.02
@@ -10,34 +14,28 @@
 //	dlrmtrain -codec hybrid -adaptive                          # dual-level adaptive
 //	dlrmtrain -topology hier -nodes 8 -ranks-per-node 4        # paper testbed shape
 //	dlrmtrain -topology hier -nodes 8 -overlap                 # comm/compute overlap
+//	dlrmtrain -scenario examples/scenarios/hier8_hybrid.json   # declarative form
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
-	"dlrmcomp/internal/adapt"
-	"dlrmcomp/internal/codec"
-	"dlrmcomp/internal/criteo"
-	"dlrmcomp/internal/cuszlike"
-	"dlrmcomp/internal/dist"
-	"dlrmcomp/internal/fzgpulike"
-	"dlrmcomp/internal/hybrid"
-	"dlrmcomp/internal/lowprec"
-	"dlrmcomp/internal/lz4like"
-	"dlrmcomp/internal/model"
-	"dlrmcomp/internal/netmodel"
-	"dlrmcomp/internal/profileutil"
+	"dlrmcomp/internal/scenario"
 )
 
 func main() {
+	scenarioFile := flag.String("scenario", "", "JSON scenario.Spec file; replaces the workload flags below")
 	dataset := flag.String("dataset", "kaggle", "kaggle or terabyte")
 	ranks := flag.Int("ranks", 8, "simulated GPU count")
 	topology := flag.String("topology", "flat", "interconnect model: flat (single α-β link) or hier (two-level, two-phase all-to-all)")
-	nodes := flag.Int("nodes", 0, "node count; when > 0, overrides -ranks with nodes*ranks-per-node")
+	nodes := flag.Int("nodes", 0, "node count; with -topology hier the rank count is nodes*ranks-per-node (inconsistent -ranks is an error)")
 	ranksPerNode := flag.Int("ranks-per-node", 4, "GPUs per node for -topology hier and -nodes")
+	a2a := flag.String("a2a", "auto", "all-to-all algorithm: auto, direct, or twophase")
 	steps := flag.Int("steps", 200, "training steps")
 	batch := flag.Int("batch", 0, "global batch size (0 = dataset default)")
 	scale := flag.Int("scale", 400, "cardinality scale-down factor")
@@ -48,155 +46,100 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "enable dual-level adaptive error bounds")
 	phase := flag.Int("phase", 0, "decay phase length (0 = steps/2)")
 	evalN := flag.Int("eval", 4000, "evaluation sample count")
+	codecWorkers := flag.Int("codec-workers", 0, "intra-rank codec worker pool (0 = auto, negative = sequential)")
 	flag.Parse()
 
-	var spec criteo.Spec
-	switch *dataset {
-	case "kaggle":
-		spec = criteo.KaggleSpec()
-	case "terabyte":
-		spec = criteo.TerabyteSpec()
-	default:
-		fmt.Fprintln(os.Stderr, "unknown dataset:", *dataset)
-		os.Exit(2)
-	}
-	if *ranksPerNode <= 0 {
-		fmt.Fprintln(os.Stderr, "-ranks-per-node must be positive")
-		os.Exit(2)
-	}
-	if *nodes > 0 {
-		*ranks = *nodes * *ranksPerNode
-	}
-	var net netmodel.Topology
-	switch *topology {
-	case "flat":
-		net = netmodel.Slingshot10()
-	case "hier", "hierarchical":
-		net = netmodel.PaperHierarchical(*ranksPerNode)
-	default:
-		fmt.Fprintln(os.Stderr, "unknown topology:", *topology)
-		os.Exit(2)
-	}
+	// Which flags did the user actually pass? Used both to reject workload
+	// flags alongside -scenario (the file is the whole spec; dropping a
+	// flag silently is the failure mode this layer removes) and to tell an
+	// explicit -ranks apart from its default.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	spec = criteo.ScaledSpec(spec, *scale)
-	if *batch == 0 {
-		*batch = spec.DefaultBatch
-	}
-	if *batch%*ranks != 0 {
-		*batch = (*batch / *ranks) * *ranks
-	}
-
-	cfg := model.Config{
-		DenseFeatures:     spec.DenseFeatures,
-		EmbeddingDim:      *dim,
-		TableSizes:        spec.Cardinalities,
-		InitCardinalities: spec.FullCardinalities,
-		BottomMLP:         []int{64, 32},
-		TopMLP:            []int{64, 32},
-		Seed:              spec.Seed,
-	}
-
-	makeCodec := codecFactory(*codecName, float32(*eb))
-	opts := dist.Options{Ranks: *ranks, Model: cfg, Net: net}
-	if makeCodec != nil {
-		opts.CodecFor = func(int) codec.Codec { return makeCodec() }
-	}
-
-	gen := criteo.NewGenerator(spec)
-	if *adaptive && makeCodec != nil {
-		// Offline phase: classify tables from a sampled batch.
-		m, err := model.New(cfg)
+	var spec scenario.Spec
+	if *scenarioFile != "" {
+		var conflicts []string
+		for name := range set {
+			if name != "scenario" {
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if len(conflicts) > 0 {
+			sort.Strings(conflicts)
+			fmt.Fprintf(os.Stderr, "invalid scenario:\n  -scenario replaces the workload flags; drop %s or fold them into %s\n",
+				strings.Join(conflicts, ", "), *scenarioFile)
+			os.Exit(2)
+		}
+		var err error
+		spec, err = scenario.LoadFile(*scenarioFile)
 		if err != nil {
 			fatal(err)
 		}
-		b := gen.NextBatch(spec.DefaultBatch)
-		samples := make([][]float32, len(m.Emb.Tables))
-		for t, tab := range m.Emb.Tables {
-			samples[t] = tab.Lookup(b.Indices[t]).Data
+	} else {
+		spec = scenario.Spec{
+			Dataset:      *dataset,
+			Scale:        *scale,
+			Dim:          *dim,
+			Batch:        *batch,
+			Steps:        *steps,
+			Eval:         *evalN,
+			Topology:     *topology,
+			A2A:          *a2a,
+			Codec:        *codecName,
+			ErrorBound:   *eb,
+			Overlap:      *overlap,
+			CodecWorkers: *codecWorkers,
+			RanksPerNode: *ranksPerNode,
+			Nodes:        *nodes,
 		}
-		res, err := adapt.OfflineAnalysis(samples, *dim, adapt.OfflineOptions{SampleEB: float32(*eb)})
-		if err != nil {
-			fatal(err)
+		if *adaptive {
+			spec.Adaptive = true
+			spec.DecayPhase = *phase
 		}
-		if *phase == 0 {
-			*phase = *steps / 2
+		// Only pin the rank count when the user asked for one (or gave no
+		// node count at all): Spec.Validate rejects an inconsistent
+		// -ranks/-nodes/-ranks-per-node combination instead of silently
+		// letting one flag override another.
+		if set["ranks"] || *nodes == 0 {
+			spec.Ranks = *ranks
 		}
-		ctrl, err := adapt.NewController(res.Classes, adapt.PaperEBConfig(), adapt.ScheduleStepwise, *phase, 2)
-		if err != nil {
-			fatal(err)
-		}
-		opts.Controller = ctrl
-		l, md, s := res.ClassCounts()
-		fmt.Printf("offline classification: L=%d M=%d S=%d, stepwise 2x decay over %d steps\n", l, md, s, *phase)
 	}
 
-	tr, err := dist.NewTrainer(opts)
+	built, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid scenario:\n  %s\n", strings.ReplaceAll(err.Error(), "\n", "\n  "))
+		os.Exit(2)
+	}
+	sp := built.Spec
+	if built.Offline != nil {
+		// The offline phase classified tables from a sampled batch.
+		l, m, s := built.Offline.ClassCounts()
+		fmt.Printf("offline classification: L=%d M=%d S=%d, %s %gx decay over %d steps\n",
+			l, m, s, sp.Schedule, sp.DecayFactor, sp.DecayPhase)
+	}
+	fmt.Printf("topology %s: %d ranks across %d node(s)\n", built.Net.Name(), sp.Ranks, built.Net.Nodes(sp.Ranks))
+
+	res, err := built.Run()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("topology %s: %d ranks across %d node(s)\n", net.Name(), *ranks, net.Nodes(*ranks))
-	emitLoss := func(i int, loss float32) {
-		if i%10 == 0 || i == *steps-1 {
+	for i, loss := range res.Losses {
+		if i%10 == 0 || i == len(res.Losses)-1 {
 			fmt.Printf("step %4d  loss %.4f\n", i, loss)
 		}
 	}
-	if *overlap {
-		losses, err := tr.RunPipelined(*steps, func(int) *criteo.Batch { return gen.NextBatch(*batch) })
-		if err != nil {
-			fatal(err)
-		}
-		for i, loss := range losses {
-			emitLoss(i, loss)
-		}
-	} else {
-		for i := 0; i < *steps; i++ {
-			loss, err := tr.Step(gen.NextBatch(*batch))
-			if err != nil {
-				fatal(err)
-			}
-			emitLoss(i, loss)
-		}
+	if sp.Eval > 0 {
+		fmt.Printf("\neval: accuracy %.4f  logloss %.4f\n", res.Accuracy, res.LogLoss)
 	}
-	acc, logloss := tr.Evaluate(gen.NextBatch(*evalN))
-	fmt.Printf("\neval: accuracy %.4f  logloss %.4f\n", acc, logloss)
-	if makeCodec != nil {
-		fmt.Printf("forward all-to-all compression ratio: %.2fx\n", tr.CompressionRatio())
+	if sp.Codec != "none" {
+		fmt.Printf("forward all-to-all compression ratio: %.2fx\n", res.CompressionRatio)
 	}
-	fmt.Printf("\nsimulated time breakdown:\n%s", profileutil.Breakdown(tr.Cluster().SimTimes()).String())
-	if *overlap {
-		serial, over := tr.SerialSimTime(), tr.OverlappedSimTime()
+	fmt.Printf("\nsimulated time breakdown:\n%s", res.SimTime.String())
+	if sp.Overlap {
+		serial, over := res.SerialSimTime, res.OverlappedSimTime
 		fmt.Printf("\ncomm/compute overlap: synchronous %v -> overlapped %v (%.2fx, %.1f%% of e2e recovered)\n",
 			serial.Round(time.Microsecond), over.Round(time.Microsecond),
 			float64(serial)/float64(over), 100*float64(serial-over)/float64(serial))
-	}
-}
-
-func codecFactory(name string, eb float32) func() codec.Codec {
-	switch name {
-	case "none":
-		return nil
-	case "hybrid":
-		return func() codec.Codec { return hybrid.New(eb, hybrid.Auto) }
-	case "vector":
-		return func() codec.Codec { return hybrid.New(eb, hybrid.VectorLZ) }
-	case "huffman":
-		return func() codec.Codec { return hybrid.New(eb, hybrid.Entropy) }
-	case "fp16":
-		return func() codec.Codec { return lowprec.FP16Codec{} }
-	case "fp8":
-		return func() codec.Codec { return lowprec.FP8Codec{Format: lowprec.E4M3} }
-	case "cusz":
-		return func() codec.Codec { return cuszlike.New(eb, cuszlike.Lorenzo1D) }
-	case "fzgpu":
-		return func() codec.Codec { return fzgpulike.New(eb) }
-	case "lz4":
-		return func() codec.Codec { return lz4like.LZSSCodec{} }
-	case "deflate":
-		return func() codec.Codec { return lz4like.DeflateCodec{} }
-	default:
-		fmt.Fprintln(os.Stderr, "unknown codec:", name)
-		os.Exit(2)
-		return nil
 	}
 }
 

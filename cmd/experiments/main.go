@@ -9,6 +9,10 @@
 //	experiments scaling             # positional form of -run
 //	experiments -run all            # everything, in order
 //	experiments -run fig12 -full    # paper-scale workloads (slower)
+//	experiments -run fig12 -json    # structured {id,title,text} output
+//	experiments -smoke              # tiny scenario sweep, one cell per
+//	                                # topology×codec corner (CI gate)
+//	experiments -smoke -json        # the sweep's scenario.Results as JSON
 //
 // The experiment table printed with no arguments and the index embedded in
 // DESIGN.md both come from the same registry (internal/experiments), so
@@ -16,12 +20,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dlrmcomp/internal/experiments"
+	"dlrmcomp/internal/scenario"
 )
 
 func main() {
@@ -29,6 +36,8 @@ func main() {
 	design := flag.Bool("design", false, "print the DESIGN.md experiment-index markdown and exit")
 	run := flag.String("run", "", "experiment ID to run, or 'all'")
 	full := flag.Bool("full", false, "use paper-scale workloads instead of quick mode")
+	smoke := flag.Bool("smoke", false, "run the scenario smoke sweep (one tiny Spec per topology×codec corner) and exit")
+	jsonOut := flag.Bool("json", false, "emit structured JSON instead of text (experiment results or, with -smoke, scenario.Results)")
 	flag.Parse()
 
 	if *run == "" && flag.NArg() > 0 {
@@ -50,20 +59,42 @@ func main() {
 		fmt.Print(experiments.IndexMarkdown())
 		return
 	}
+	if *smoke {
+		if *run != "" || *full {
+			// The smoke sweep is its own mode; silently dropping a
+			// requested experiment would let a CI script look green while
+			// the experiment never ran.
+			fmt.Fprintln(os.Stderr, "error: -smoke cannot be combined with -run/-full or a positional experiment id")
+			os.Exit(2)
+		}
+		runSmoke(*jsonOut)
+		return
+	}
 	if *run == "" {
 		printIndex()
 		return
 	}
 	opts := experiments.Options{Quick: !*full}
 
+	var collected []*experiments.Result
 	emit := func(res *experiments.Result) {
+		if *jsonOut {
+			collected = append(collected, res)
+			return
+		}
 		fmt.Printf("=== %s — %s ===\n%s\n", res.ID, res.Title, res.Text)
+	}
+	flush := func() {
+		if *jsonOut {
+			emitJSON(collected)
+		}
 	}
 	if strings.EqualFold(*run, "all") {
 		results, err := experiments.RunAll(opts)
 		for _, res := range results {
 			emit(res)
 		}
+		flush()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -76,6 +107,71 @@ func main() {
 		os.Exit(1)
 	}
 	emit(res)
+	flush()
+}
+
+// smokeSpecs is the CI smoke grid: a tiny two-node workload crossed over
+// every topology×codec corner, so a wiring regression in any corner of the
+// scenario engine (flat/hier × uncompressed/hybrid, plus the overlap
+// schedule) fails the quick gate in seconds.
+func smokeSpecs() []scenario.Spec {
+	base := scenario.Spec{
+		Name: "smoke", Dataset: "kaggle", Scale: 8000, Dim: 8,
+		Ranks: 8, Batch: 64, Steps: 2, Eval: 128,
+		BottomMLP: []int{16, 8}, TopMLP: []int{16, 8},
+		ErrorBound: 0.02,
+	}
+	specs := scenario.Axes{
+		Base:       base,
+		Topologies: []string{"flat", "hier"},
+		Codecs:     []string{"none", "hybrid"},
+		Overlaps:   []bool{false, true},
+	}.Expand()
+	for i := range specs {
+		specs[i].Name = fmt.Sprintf("smoke-%s-%s-overlap=%v", specs[i].Topology, specs[i].Codec, specs[i].Overlap)
+	}
+	return specs
+}
+
+// runSmoke executes the smoke grid and prints one verdict line per cell
+// (or the full scenario.Results as JSON).
+func runSmoke(jsonOut bool) {
+	specs := smokeSpecs()
+	results, err := scenario.Sweep(specs, scenario.SweepOptions{})
+	if jsonOut {
+		emitJSON(results)
+	} else {
+		for _, res := range results {
+			if res == nil {
+				continue
+			}
+			total := res.SimTime.Total()
+			if res.Spec.Overlap {
+				total = res.OverlappedSimTime
+			}
+			fmt.Printf("%-32s loss %.4f  acc %.3f  CR %5.1fx  sim %9v  wall %v\n",
+				res.Spec.Name, res.Losses[len(res.Losses)-1], res.Accuracy,
+				res.CompressionRatio, total.Round(time.Microsecond), res.WallClock.Round(time.Millisecond))
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if !jsonOut {
+		fmt.Printf("smoke sweep: %d scenarios OK\n", len(results))
+	}
+}
+
+// emitJSON writes any result set as indented JSON on stdout (the
+// bench-artifact flow ingests this).
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 }
 
 // printIndex renders the registry as an aligned table, the no-argument

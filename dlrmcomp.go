@@ -15,6 +15,10 @@
 //     both the synchronous schedule (Trainer.Step) and the comm/compute
 //     overlap schedule (Trainer.RunPipelined, bit-identical math with the
 //     next batch's all-to-all hidden under the current batch's MLP);
+//   - the declarative scenario engine: one Scenario value (or JSON file)
+//     describes dataset, cluster shape, topology, codec, error-bound
+//     schedule, and overlap, and RunScenario/SweepScenarios build and run
+//     it (bit-identically at any sweep worker count);
 //   - the experiment drivers regenerating every table and figure of the
 //     paper's evaluation (RunExperiment, ExperimentIDs).
 //
@@ -38,6 +42,8 @@ import (
 	"dlrmcomp/internal/lz4like"
 	"dlrmcomp/internal/model"
 	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/profileutil"
+	"dlrmcomp/internal/scenario"
 )
 
 // Codec is the interface implemented by every communication compressor.
@@ -225,6 +231,41 @@ func Slingshot10() Network { return netmodel.Slingshot10() }
 func PaperHierarchical(ranksPerNode int) Hierarchical {
 	return netmodel.PaperHierarchical(ranksPerNode)
 }
+
+// --- scenarios --------------------------------------------------------------
+
+// Scenario types: the declarative configuration layer. A Scenario is pure
+// data (JSON round-trip) describing a complete training run — dataset,
+// model shape, cluster shape and topology, codec and error bound, adaptive
+// schedule, overlap — and the engine builds and runs it.
+type (
+	// Scenario declares one training scenario (internal/scenario.Spec).
+	Scenario = scenario.Spec
+	// ScenarioResult is one completed scenario: loss curve, eval metrics,
+	// compression ratio, and the sim-time breakdown.
+	ScenarioResult = scenario.Result
+	// ScenarioAxes expands per-axis value lists into the cross product of
+	// Scenarios for SweepScenarios.
+	ScenarioAxes = scenario.Axes
+	// SweepOptions tunes the parallel sweep runner.
+	SweepOptions = scenario.SweepOptions
+	// Breakdown is a labelled set of sim-time buckets
+	// (ScenarioResult.SimTime).
+	Breakdown = profileutil.Breakdown
+)
+
+// RunScenario validates, builds, and runs one scenario.
+func RunScenario(s Scenario) (*ScenarioResult, error) { return scenario.Run(s) }
+
+// SweepScenarios runs every scenario on a bounded worker pool, returning
+// results in input order; results are bit-identical at any worker count.
+func SweepScenarios(specs []Scenario, opts SweepOptions) ([]*ScenarioResult, error) {
+	return scenario.Sweep(specs, opts)
+}
+
+// LoadScenario reads a Scenario from a JSON file (unknown fields are an
+// error). The same files drive `dlrmtrain -scenario`.
+func LoadScenario(path string) (Scenario, error) { return scenario.LoadFile(path) }
 
 // --- experiments ------------------------------------------------------------
 

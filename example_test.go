@@ -202,3 +202,26 @@ func ExampleTrainer_RunPipelined() {
 	// losses identical to synchronous: true
 	// overlap strictly faster: true
 }
+
+// ExampleRunScenario runs one declarative scenario end to end: the Spec is
+// pure data (it round-trips through JSON and drives `dlrmtrain -scenario`),
+// and the engine assembles dataset, topology, codec, and trainer from it.
+func ExampleRunScenario() {
+	res, err := dlrmcomp.RunScenario(dlrmcomp.Scenario{
+		Dataset: "kaggle", Scale: 100000, Dim: 8, Ranks: 8, Batch: 64, Steps: 4,
+		Topology: "hier", RanksPerNode: 4,
+		BottomMLP: []int{16, 8}, TopMLP: []int{16, 8},
+		Codec: "hybrid", ErrorBound: 0.02,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps run:", len(res.Losses))
+	fmt.Println("compressed beyond 2x:", res.CompressionRatio > 2)
+	fmt.Println("hier a2a buckets split:",
+		res.SimTime["fwd-a2a-intra"] > 0 && res.SimTime["fwd-a2a-inter"] > 0)
+	// Output:
+	// steps run: 4
+	// compressed beyond 2x: true
+	// hier a2a buckets split: true
+}

@@ -2,70 +2,53 @@
 // dataset, reproducing the headline result — the hybrid compressor
 // accelerates the forward all-to-all by several times and end-to-end
 // training by ~1.3-1.4x — using the paper-calibrated network/device model.
+//
+// The whole workload is one declarative dlrmcomp.Scenario; the compressed
+// and uncompressed runs differ only in the codec fields.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
 	"dlrmcomp"
-	"dlrmcomp/internal/dist"
-	"dlrmcomp/internal/netmodel"
-	"dlrmcomp/internal/profileutil"
 )
 
-const (
-	ranks = 32
-	batch = 2048
-	steps = 3
-	dim   = 64
-)
-
-func run(spec dlrmcomp.DatasetSpec, compressed bool) (profileutil.Breakdown, float64) {
-	gen := dlrmcomp.NewGenerator(spec)
-	opts := dist.Options{
-		Ranks: ranks,
-		Model: dlrmcomp.ModelConfig{
-			DenseFeatures:     spec.DenseFeatures,
-			EmbeddingDim:      dim,
-			TableSizes:        spec.Cardinalities,
-			InitCardinalities: spec.FullCardinalities,
-			BottomMLP:         []int{512, 256},
-			TopMLP:            []int{512, 256},
-			Seed:              spec.Seed,
-		},
-		Net: netmodel.Network{
-			AllToAllBandwidth:  4e9, // the paper's effective all-to-all rate
-			AllReduceBandwidth: 60e9,
-			Latency:            2 * time.Microsecond,
-		},
-		Device:             netmodel.Device{FLOPS: 3e12, MemBandwidth: 1.3e12},
+// baseScenario is the paper's 32-GPU Terabyte testbed shape.
+func baseScenario() dlrmcomp.Scenario {
+	return dlrmcomp.Scenario{
+		Dataset:            "terabyte",
+		Scale:              4000,
+		Ranks:              32,
+		Batch:              2048,
+		Steps:              3,
+		Dim:                64,
+		BottomMLP:          []int{512, 256},
+		TopMLP:             []int{512, 256},
+		Device:             "paper",
 		OtherComputeFactor: 0.8,
 	}
+}
+
+func run(compressed bool) (dlrmcomp.Breakdown, float64) {
+	sp := baseScenario()
 	if compressed {
-		opts.CodecFor = func(int) dlrmcomp.Codec { return dlrmcomp.NewCompressor(0.005, dlrmcomp.ModeAuto) }
+		sp.Codec, sp.ErrorBound = "hybrid", 0.005
 	}
-	tr, err := dist.NewTrainer(opts)
+	res, err := dlrmcomp.RunScenario(sp)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < steps; i++ {
-		if _, err := tr.Step(gen.NextBatch(batch)); err != nil {
-			log.Fatal(err)
-		}
-	}
-	return profileutil.Breakdown(tr.Cluster().SimTimes()), tr.CompressionRatio()
+	return res.SimTime, res.CompressionRatio
 }
 
 func main() {
-	spec := dlrmcomp.ScaledSpec(dlrmcomp.TerabyteSpec(), 4000)
-
-	fmt.Printf("terabyte-like config: %d ranks, global batch %d, dim %d, %d steps\n\n", ranks, batch, dim, steps)
-	base, _ := run(spec, false)
+	sp := baseScenario()
+	fmt.Printf("terabyte-like config: %d ranks, global batch %d, dim %d, %d steps\n\n", sp.Ranks, sp.Batch, sp.Dim, sp.Steps)
+	base, _ := run(false)
 	fmt.Printf("--- uncompressed baseline ---\n%s\n", base.String())
 
-	comp, cr := run(spec, true)
+	comp, cr := run(true)
 	fmt.Printf("--- hybrid compression (eb 0.005) ---\n%s\n", comp.String())
 
 	commBase := base["fwd-a2a"]

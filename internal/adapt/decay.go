@@ -44,6 +44,26 @@ func (s Schedule) String() string {
 	}
 }
 
+// ParseSchedule maps a configuration string onto a Schedule (the inverse
+// of Schedule.String). The empty string selects ScheduleNone.
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "", "none":
+		return ScheduleNone, nil
+	case "stepwise":
+		return ScheduleStepwise, nil
+	case "logarithmic", "log":
+		return ScheduleLogarithmic, nil
+	case "linear":
+		return ScheduleLinear, nil
+	case "exponential", "exp":
+		return ScheduleExponential, nil
+	case "drop":
+		return ScheduleDrop, nil
+	}
+	return ScheduleNone, fmt.Errorf("adapt: unknown decay schedule %q (want none, stepwise, logarithmic, linear, exponential, or drop)", s)
+}
+
 // StepwiseSteps is the number of staircase levels of ScheduleStepwise.
 const StepwiseSteps = 4
 

@@ -26,6 +26,32 @@ const (
 	A2ATwoPhase
 )
 
+// String returns the parseable name of the algorithm.
+func (a A2AAlgo) String() string {
+	switch a {
+	case A2ADirect:
+		return "direct"
+	case A2ATwoPhase:
+		return "twophase"
+	default:
+		return "auto"
+	}
+}
+
+// ParseA2AAlgo maps a configuration string onto an A2AAlgo. The empty
+// string selects A2AAuto, mirroring the zero value.
+func ParseA2AAlgo(s string) (A2AAlgo, error) {
+	switch s {
+	case "", "auto":
+		return A2AAuto, nil
+	case "direct":
+		return A2ADirect, nil
+	case "twophase", "two-phase":
+		return A2ATwoPhase, nil
+	}
+	return A2AAuto, fmt.Errorf("cluster: unknown all-to-all algorithm %q (want auto, direct, or twophase)", s)
+}
+
 // Cluster is a simulated process group.
 type Cluster struct {
 	N   int

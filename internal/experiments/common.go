@@ -6,10 +6,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-
-	"dlrmcomp/internal/criteo"
-	"dlrmcomp/internal/model"
-	"dlrmcomp/internal/nn"
 )
 
 // Options tunes experiment cost. Quick mode shrinks workloads so the whole
@@ -144,71 +140,7 @@ func RunAll(opts Options) ([]*Result, error) {
 	return out, nil
 }
 
-// --- shared workload construction ------------------------------------------
-
-// env is a warmed DLRM on a scaled synthetic dataset, the common substrate
-// for the compression and homogenization experiments.
-type env struct {
-	Spec  criteo.Spec
-	Gen   *criteo.Generator
-	Model *model.DLRM
-	Dim   int
-}
-
-// datasetScale shrinks cardinalities so experiments run in seconds while
-// preserving the cross-table size distribution.
-func datasetScale(quick bool) int {
-	if quick {
-		return 4000
-	}
-	return 400
-}
-
-// warmSteps controls how far tables drift from initialization before
-// sampling (trained tables are what the paper compresses).
-func warmSteps(quick bool) int {
-	if quick {
-		return 40
-	}
-	return 300
-}
-
-// buildEnv constructs and warms a model on the scaled dataset.
-func buildEnv(spec criteo.Spec, dim int, opts Options) (*env, error) {
-	scaled := criteo.ScaledSpec(spec, datasetScale(opts.Quick))
-	gen := criteo.NewGenerator(scaled)
-	cfg := model.Config{
-		DenseFeatures:     scaled.DenseFeatures,
-		EmbeddingDim:      dim,
-		TableSizes:        scaled.Cardinalities,
-		InitCardinalities: scaled.FullCardinalities,
-		BottomMLP:         []int{64, 32},
-		TopMLP:            []int{64, 32},
-		Seed:              scaled.Seed + 100,
-	}
-	m, err := model.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	opt := &nn.SGD{LR: 0.05}
-	batch := 128
-	for i := 0; i < warmSteps(opts.Quick); i++ {
-		b := gen.NextBatch(batch)
-		m.TrainStep(b.Dense, b.Indices, b.Labels, opt, 0.3)
-	}
-	return &env{Spec: scaled, Gen: gen, Model: m, Dim: dim}, nil
-}
-
-// sampleLookups gathers one lookup batch per table (the data that flows
-// through the all-to-all).
-func (e *env) sampleLookups(batch int) ([][]float32, *criteo.Batch) {
-	b := e.Gen.NextBatch(batch)
-	out := make([][]float32, len(e.Model.Emb.Tables))
-	for t, tab := range e.Model.Emb.Tables {
-		out[t] = tab.Lookup(b.Indices[t]).Data
-	}
-	return out, b
-}
+// --- shared formatting and statistics ----------------------------------------
 
 // concat flattens per-table lookups into one stream (epoch-style sampling).
 func concat(samples [][]float32) []float32 {

@@ -5,10 +5,8 @@ import (
 	"strings"
 
 	"dlrmcomp/internal/adapt"
-	"dlrmcomp/internal/codec"
 	"dlrmcomp/internal/criteo"
-	"dlrmcomp/internal/dist"
-	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/scenario"
 )
 
 func init() {
@@ -47,13 +45,14 @@ func runFig6(_ Options) (*Result, error) {
 	return &Result{Text: text}, nil
 }
 
-// homoAnalysis runs the offline analysis for one dataset.
-func homoAnalysis(spec criteo.Spec, opts Options, batch int, eb float32) (*env, *adapt.OfflineResult, error) {
-	e, err := buildEnv(spec, 16, opts)
+// homoAnalysis runs the offline analysis for one dataset over the standard
+// warmed probe environment.
+func homoAnalysis(base criteo.Spec, opts Options, batch int, eb float32) (*scenario.Env, *adapt.OfflineResult, error) {
+	e, err := expSpec(base, 16, opts).BuildEnv()
 	if err != nil {
 		return nil, nil, err
 	}
-	samples, _ := e.sampleLookups(batch)
+	samples, _ := e.SampleLookups(batch)
 	res, err := adapt.OfflineAnalysis(samples, e.Dim, adapt.OfflineOptions{SampleEB: eb})
 	if err != nil {
 		return nil, nil, err
@@ -137,74 +136,51 @@ func runTable4(opts Options) (*Result, error) {
 	return &Result{Text: text}, nil
 }
 
-// trainWithController trains the distributed model under a given adaptive
-// configuration and reports final accuracy and mean compression ratio.
-func trainWithController(spec criteo.Spec, opts Options, build func(numTables int) (*adapt.Controller, []codec.Codec, error)) (acc float64, cr float64, err error) {
-	scaled := criteo.ScaledSpec(spec, datasetScale(opts.Quick))
-	gen := criteo.NewGenerator(scaled)
-	cfg := modelConfigFor(scaled, 16)
-	ctrl, codecs, err := build(len(cfg.TableSizes))
-	if err != nil {
-		return 0, 0, err
-	}
-	tr, err := dist.NewTrainer(dist.Options{
-		Ranks:      4,
-		Model:      cfg,
-		CodecFor:   func(t int) codec.Codec { return codecs[t] },
-		Controller: ctrl,
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	steps := 300
+// adaptiveSpec is the shared scenario of the decay experiments: the 4-rank
+// training cluster with the hybrid codec under an adaptive controller with
+// uniform ClassMedium tables (the decay function under test is the
+// variable).
+func adaptiveSpec(base criteo.Spec, opts Options, schedule string, phase int, factor float64) scenario.Spec {
+	sp := expSpec(base, 16, opts)
+	sp.Ranks, sp.Batch = 4, 128
+	sp.Steps = 300
 	if opts.Quick {
-		steps = 50
+		sp.Steps = 50
 	}
-	for i := 0; i < steps; i++ {
-		if _, err := tr.Step(gen.NextBatch(128)); err != nil {
-			return 0, 0, err
-		}
-	}
-	evalN := 4000
+	sp.Eval = 4000
 	if opts.Quick {
-		evalN = 1000
+		sp.Eval = 1000
 	}
-	acc, _ = tr.Evaluate(gen.NextBatch(evalN))
-	return acc, tr.CompressionRatio(), nil
-}
-
-func uniformCodecs(n int, eb float32) []codec.Codec {
-	out := make([]codec.Codec, n)
-	for i := range out {
-		out[i] = hybrid.New(eb, hybrid.Auto)
-	}
-	return out
+	sp.Codec, sp.ErrorBound = "hybrid", 0.03
+	sp.Adaptive = true
+	sp.Classes = "uniform"
+	sp.Schedule = schedule
+	sp.DecayPhase = phase
+	sp.DecayFactor = factor
+	return sp
 }
 
 // runFig5 reproduces Fig. 5: accuracy and compression ratio under different
 // decay functions (stepwise wins on CR while preserving convergence).
 func runFig5(opts Options) (*Result, error) {
-	spec := criteo.KaggleSpec()
 	schedules := []adapt.Schedule{adapt.ScheduleNone, adapt.ScheduleLinear, adapt.ScheduleLogarithmic, adapt.ScheduleStepwise}
 	phase := 150
 	if opts.Quick {
 		phase = 25
 	}
+	specs := make([]scenario.Spec, len(schedules))
+	for i, sched := range schedules {
+		specs[i] = adaptiveSpec(criteo.KaggleSpec(), opts, sched.String(), phase, 2)
+	}
+	results, err := scenario.Sweep(specs, scenario.SweepOptions{})
+	if err != nil {
+		return nil, err
+	}
 	var rows [][]string
-	for _, sched := range schedules {
-		s := sched
-		acc, cr, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
-			classes := make([]adapt.Class, n)
-			for i := range classes {
-				classes[i] = adapt.ClassMedium
-			}
-			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), s, phase, 2)
-			return ctrl, uniformCodecs(n, 0.03), err
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%v: %w", sched, err)
-		}
-		rows = append(rows, []string{sched.String(), fmt.Sprintf("%.4f", acc), fmt.Sprintf("%.2f", cr)})
+	for i, sched := range schedules {
+		rows = append(rows, []string{sched.String(),
+			fmt.Sprintf("%.4f", results[i].Accuracy),
+			fmt.Sprintf("%.2f", results[i].CompressionRatio)})
 	}
 	text := table([]string{"decay func", "accuracy", "CR"}, rows) +
 		"\nDecaying schedules start at 2x the base EB, so they out-compress the fixed\nbound while converging — stepwise gives the best CR/accuracy trade (Fig. 5).\n"
@@ -220,39 +196,25 @@ func runFig9(opts Options) (*Result, error) {
 		if opts.Quick {
 			batch = 128
 		}
-		// Classify tables offline first.
-		_, offline, err := homoAnalysis(spec, opts, batch, probeEB(spec))
-		if err != nil {
-			return nil, err
-		}
-		var rows [][]string
 		// Fixed global EB = medium for all tables.
-		accG, crG, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
-			classes := make([]adapt.Class, n)
-			for i := range classes {
-				classes[i] = adapt.ClassMedium
-			}
-			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), adapt.ScheduleNone, 0, 1)
-			return ctrl, uniformCodecs(n, 0.03), err
-		})
+		global := adaptiveSpec(spec, opts, "none", 0, 1)
+		// Table-wise EBs from the offline classification (run inside Build
+		// over the standard warmed probe env).
+		tableWise := adaptiveSpec(spec, opts, "none", 0, 1)
+		tableWise.Classes = "offline"
+		tableWise.OfflineBatch = batch
+		tableWise.OfflineEB = float64(probeEB(spec))
+		results, err := scenario.Sweep([]scenario.Spec{global, tableWise}, scenario.SweepOptions{})
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, []string{"fixed-global-0.03", fmt.Sprintf("%.4f", accG), fmt.Sprintf("%.2f", crG), "-"})
-		// Table-wise EBs from the offline classification.
-		accT, crT, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
-			classes := offline.Classes
-			if len(classes) != n {
-				return nil, nil, fmt.Errorf("classification covers %d tables, want %d", len(classes), n)
-			}
-			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), adapt.ScheduleNone, 0, 1)
-			return ctrl, uniformCodecs(n, 0.03), err
-		})
-		if err != nil {
-			return nil, err
+		accG, crG := results[0].Accuracy, results[0].CompressionRatio
+		accT, crT := results[1].Accuracy, results[1].CompressionRatio
+		rows := [][]string{
+			{"fixed-global-0.03", fmt.Sprintf("%.4f", accG), fmt.Sprintf("%.2f", crG), "-"},
+			{"table-wise-L/M/S", fmt.Sprintf("%.4f", accT), fmt.Sprintf("%.2f", crT),
+				fmt.Sprintf("%.2fx", crT/crG)},
 		}
-		rows = append(rows, []string{"table-wise-L/M/S", fmt.Sprintf("%.4f", accT), fmt.Sprintf("%.2f", crT),
-			fmt.Sprintf("%.2fx", crT/crG)})
 		fmt.Fprintf(&sb, "dataset %s\n%s\n", spec.Name, table([]string{"config", "accuracy", "CR", "CR gain"}, rows))
 	}
 	sb.WriteString("Paper: table-wise EBs keep accuracy intact and raise CR up to 1.21x on Kaggle.\n")
@@ -262,36 +224,33 @@ func runFig9(opts Options) (*Result, error) {
 // runFig10 reproduces Fig. 10: gradual stepwise decay from 2x/3x the base
 // bound vs an abrupt drop — decay converges better and compresses more.
 func runFig10(opts Options) (*Result, error) {
-	spec := criteo.KaggleSpec()
 	phase := 150
 	if opts.Quick {
 		phase = 25
 	}
 	cases := []struct {
-		name   string
-		sched  adapt.Schedule
-		factor float64
+		name     string
+		schedule string
+		factor   float64
 	}{
-		{"decay_2x", adapt.ScheduleStepwise, 2},
-		{"drop_2x", adapt.ScheduleDrop, 2},
-		{"decay_3x", adapt.ScheduleStepwise, 3},
-		{"drop_3x", adapt.ScheduleDrop, 3},
+		{"decay_2x", "stepwise", 2},
+		{"drop_2x", "drop", 2},
+		{"decay_3x", "stepwise", 3},
+		{"drop_3x", "drop", 3},
+	}
+	specs := make([]scenario.Spec, len(cases))
+	for i, cse := range cases {
+		specs[i] = adaptiveSpec(criteo.KaggleSpec(), opts, cse.schedule, phase, cse.factor)
+	}
+	results, err := scenario.Sweep(specs, scenario.SweepOptions{})
+	if err != nil {
+		return nil, err
 	}
 	var rows [][]string
-	for _, cse := range cases {
-		c := cse
-		acc, cr, err := trainWithController(spec, opts, func(n int) (*adapt.Controller, []codec.Codec, error) {
-			classes := make([]adapt.Class, n)
-			for i := range classes {
-				classes[i] = adapt.ClassMedium
-			}
-			ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), c.sched, phase, c.factor)
-			return ctrl, uniformCodecs(n, 0.03), err
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", cse.name, err)
-		}
-		rows = append(rows, []string{cse.name, fmt.Sprintf("%.4f", acc), fmt.Sprintf("%.2f", cr)})
+	for i, cse := range cases {
+		rows = append(rows, []string{cse.name,
+			fmt.Sprintf("%.4f", results[i].Accuracy),
+			fmt.Sprintf("%.2f", results[i].CompressionRatio)})
 	}
 	text := table([]string{"strategy", "accuracy", "CR"}, rows) +
 		"\nGradual decay tolerates a larger starting bound than an abrupt drop,\nyielding a further 1.09x/1.03x CR in the paper (1.32x/1.06x over fixed).\n"

@@ -14,6 +14,7 @@ import (
 	"dlrmcomp/internal/lz4like"
 	"dlrmcomp/internal/netmodel"
 	"dlrmcomp/internal/quant"
+	"dlrmcomp/internal/scenario"
 	"dlrmcomp/internal/vlz"
 )
 
@@ -56,7 +57,7 @@ func runFig11(opts Options) (*Result, error) {
 	var sb strings.Builder
 	rates := netmodel.PaperCodecRates()
 	for _, spec := range []criteo.Spec{criteo.KaggleSpec(), criteo.TerabyteSpec()} {
-		e, err := buildEnv(spec, 16, opts)
+		e, err := expSpec(spec, 16, opts).BuildEnv()
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +73,7 @@ func runFig11(opts Options) (*Result, error) {
 			// pipeline compresses each table's block separately).
 			var rawBytes, wireBytes int64
 			var compDur, decompDur time.Duration
-			samples, _ := e.sampleLookups(batch)
+			samples, _ := e.SampleLookups(batch)
 			for _, sample := range samples {
 				start := time.Now()
 				frame, err := c.Compress(sample, e.Dim)
@@ -113,7 +114,7 @@ func runFig11(opts Options) (*Result, error) {
 func runTable5(opts Options) (*Result, error) {
 	var sb strings.Builder
 	for _, spec := range []criteo.Spec{criteo.KaggleSpec(), criteo.TerabyteSpec()} {
-		e, err := buildEnv(spec, 16, opts)
+		e, err := expSpec(spec, 16, opts).BuildEnv()
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +132,7 @@ func runTable5(opts Options) (*Result, error) {
 			lz4like.DeflateCodec{},
 			hybrid.New(eb, hybrid.Auto),
 		}
-		samples, _ := e.sampleLookups(batch)
+		samples, _ := e.SampleLookups(batch)
 		var rows [][]string
 		sums := make([]float64, len(codecs))
 		for t, sample := range samples {
@@ -181,7 +182,7 @@ func runTable6(opts Options) (*Result, error) {
 	var sb strings.Builder
 	windows := []int{32, 64, 128, 255}
 	for _, spec := range []criteo.Spec{criteo.KaggleSpec(), criteo.TerabyteSpec()} {
-		e, err := buildEnv(spec, 16, opts)
+		e, err := expSpec(spec, 16, opts).BuildEnv()
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +194,7 @@ func runTable6(opts Options) (*Result, error) {
 		// the window size (not homogenization) is what limits matching —
 		// the regime of the paper's Table VI.
 		eb := probeEB(spec) / 20
-		samples, _ := e.sampleLookups(batch)
+		samples, _ := e.SampleLookups(batch)
 
 		base := 0.0
 		row := []string{spec.Name}
@@ -225,7 +226,7 @@ func runTable6(opts Options) (*Result, error) {
 // shape for two representative Terabyte tables — one entropy-friendly
 // (concentrated Gaussian) and one LZ-friendly (few unique vectors).
 func runFig13(opts Options) (*Result, error) {
-	e, err := buildEnv(criteo.TerabyteSpec(), 16, opts)
+	e, err := expSpec(criteo.TerabyteSpec(), 16, opts).BuildEnv()
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +235,7 @@ func runFig13(opts Options) (*Result, error) {
 		batch = 512
 	}
 	eb := probeEB(criteo.TerabyteSpec())
-	samples, _ := e.sampleLookups(batch)
+	samples, _ := e.SampleLookups(batch)
 
 	var rows [][]string
 	for _, t := range pickRepresentativeTables(e, samples, eb) {
@@ -272,7 +273,7 @@ func runFig13(opts Options) (*Result, error) {
 
 // pickRepresentativeTables selects the most LZ-friendly and the most
 // entropy-friendly tables of the sampled batch.
-func pickRepresentativeTables(e *env, samples [][]float32, eb float32) []int {
+func pickRepresentativeTables(e *scenario.Env, samples [][]float32, eb float32) []int {
 	bestLZ, bestH := 0, 0
 	var bestLZScore, bestHScore float64
 	for t, sample := range samples {
@@ -300,18 +301,15 @@ func pickRepresentativeTables(e *env, samples [][]float32, eb float32) []int {
 // runFig14 reproduces Fig. 14: the lookup value distribution is stable
 // across training phases, which keeps the compression ratio steady.
 func runFig14(opts Options) (*Result, error) {
-	spec := criteo.ScaledSpec(criteo.TerabyteSpec(), datasetScale(opts.Quick))
-	gen := criteo.NewGenerator(spec)
-	e := &env{Spec: spec, Gen: gen, Dim: 16}
-	cfg := modelConfigFor(spec, 16)
-	m, err := newModel(cfg)
+	sp := expSpec(criteo.TerabyteSpec(), 16, opts)
+	sp.WarmSteps = 0 // sample from initialization; the phases below train
+	e, err := sp.BuildEnv()
 	if err != nil {
 		return nil, err
 	}
-	e.Model = m
 
 	phases := 4
-	stepsPerPhase := warmSteps(opts.Quick) / phases
+	stepsPerPhase := scenario.DefaultWarmSteps(opts.Quick) / phases
 	if stepsPerPhase == 0 {
 		stepsPerPhase = 1
 	}
@@ -324,7 +322,7 @@ func runFig14(opts Options) (*Result, error) {
 
 	var rows [][]string
 	for phase := 0; phase <= phases; phase++ {
-		samples, _ := e.sampleLookups(batch)
+		samples, _ := e.SampleLookups(batch)
 		stream := concat(samples)
 		mean, std, kurt := moments(stream)
 		var rawBytes, wireBytes int64
@@ -343,7 +341,7 @@ func runFig14(opts Options) (*Result, error) {
 			fmt.Sprintf("%.2f", kurt),
 			fmt.Sprintf("%.2f", float64(rawBytes)/float64(wireBytes)),
 		})
-		trainPhase(e, stepsPerPhase)
+		e.Warm(stepsPerPhase)
 	}
 	text := table([]string{"phase", "mean", "std", "kurtosis", "CR"}, rows) +
 		"\nDistribution moments and CR stay nearly constant across training (Fig. 14).\n"
@@ -411,13 +409,13 @@ func runFig4(_ Options) (*Result, error) {
 // tables — false prediction, violent vector homogenization, and Gaussian
 // value distribution.
 func runTable1(opts Options) (*Result, error) {
-	e, err := buildEnv(criteo.KaggleSpec(), 16, opts)
+	e, err := expSpec(criteo.KaggleSpec(), 16, opts).BuildEnv()
 	if err != nil {
 		return nil, err
 	}
 	batch := 128
 	eb := float32(0.01)
-	samples, _ := e.sampleLookups(batch)
+	samples, _ := e.SampleLookups(batch)
 
 	var rows [][]string
 	for _, t := range []int{1, 3, 4} {

@@ -7,33 +7,46 @@ import (
 	"dlrmcomp/internal/buffopt"
 	"dlrmcomp/internal/criteo"
 	"dlrmcomp/internal/hybrid"
-	"dlrmcomp/internal/model"
-	"dlrmcomp/internal/nn"
+	"dlrmcomp/internal/scenario"
 	"dlrmcomp/internal/tensor"
 )
 
-// modelConfigFor builds the standard experiment model for a scaled spec.
-func modelConfigFor(spec criteo.Spec, dim int) model.Config {
-	return model.Config{
-		DenseFeatures:     spec.DenseFeatures,
-		EmbeddingDim:      dim,
-		TableSizes:        spec.Cardinalities,
-		InitCardinalities: spec.FullCardinalities,
-		BottomMLP:         []int{64, 32},
-		TopMLP:            []int{64, 32},
-		Seed:              spec.Seed + 100,
+// expSpec is the standard experiment scenario over a dataset: the
+// quick/full dataset scale, a dim-wide model with the repo-default MLPs,
+// the suite's model-seed offset, and the standard warm length for probe
+// environments. Experiments layer their cluster shape, codec, and step
+// budget on top.
+func expSpec(base criteo.Spec, dim int, opts Options) scenario.Spec {
+	return scenario.Spec{
+		Dataset:   base.Name,
+		Scale:     scenario.DefaultScale(opts.Quick),
+		Dim:       dim,
+		ModelSeed: base.Seed + 100,
+		WarmSteps: scenario.DefaultWarmSteps(opts.Quick),
 	}
 }
 
-func newModel(cfg model.Config) (*model.DLRM, error) { return model.New(cfg) }
-
-// trainPhase advances an env's model by additional single-process steps.
-func trainPhase(e *env, steps int) {
-	opt := &nn.SGD{LR: 0.05}
-	for i := 0; i < steps; i++ {
-		b := e.Gen.NextBatch(128)
-		e.Model.TrainStep(b.Dense, b.Indices, b.Labels, opt, 0.3)
+// timingSpec is the paper-scale timing scenario (sparse feature size 64,
+// the reference-arch MLPs, the calibrated sustained device rate, and the
+// "other compute" share that makes breakdown shares match Fig. 1); quick
+// mode shrinks the model so CI stays fast.
+func timingSpec(base criteo.Spec, opts Options) scenario.Spec {
+	sp := scenario.Spec{
+		Dataset:            base.Name,
+		Scale:              scenario.DefaultScale(opts.Quick),
+		Dim:                64,
+		BottomMLP:          []int{512, 256},
+		TopMLP:             []int{512, 256},
+		Device:             "paper",
+		OtherComputeFactor: 0.8,
+		ModelSeed:          base.Seed + 7,
 	}
+	if opts.Quick {
+		sp.Dim = 16
+		sp.BottomMLP = []int{128, 64}
+		sp.TopMLP = []int{128, 64}
+	}
+	return sp
 }
 
 func defaultLaunchModel() buffopt.LaunchModel { return buffopt.DefaultLaunchModel() }

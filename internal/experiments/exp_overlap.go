@@ -5,25 +5,12 @@ import (
 	"strings"
 	"time"
 
-	"dlrmcomp/internal/codec"
 	"dlrmcomp/internal/criteo"
-	"dlrmcomp/internal/dist"
-	"dlrmcomp/internal/hybrid"
-	"dlrmcomp/internal/netmodel"
-	"dlrmcomp/internal/profileutil"
+	"dlrmcomp/internal/scenario"
 )
 
 func init() {
 	register("overlap", "Comm/compute overlap: pipelined vs synchronous schedule", runOverlap)
-}
-
-// overlapRun is one cell of the sweep: the same trained steps costed under
-// the serial schedule and the pipelined (double-buffered) schedule.
-type overlapRun struct {
-	serial     time.Duration
-	overlapped time.Duration
-	a2a        time.Duration
-	cr         float64
 }
 
 // runOverlap measures what the overlap engine recovers: it drives the
@@ -46,39 +33,32 @@ func runOverlap(opts Options) (*Result, error) {
 	}
 	const ranksPerNode = 4
 	base := criteo.TerabyteSpec()
-	spec := criteo.ScaledSpec(base, datasetScale(opts.Quick))
 	eb := probeEB(base)
 
-	run := func(ranks int, hier, compressed bool) (overlapRun, error) {
-		gen := criteo.NewGenerator(spec)
-		o := dist.Options{
-			Ranks:              ranks,
-			Model:              timingModelConfig(spec, opts.Quick),
-			Device:             paperDevice(),
-			OtherComputeFactor: 0.8,
-		}
+	mk := func(ranks int, hier, compressed bool) scenario.Spec {
+		sp := timingSpec(base, opts)
+		sp.Ranks, sp.Batch, sp.Steps = ranks, batch, steps
+		sp.Overlap = true
 		if hier {
-			o.Net = netmodel.PaperHierarchical(ranksPerNode)
-		} else {
-			o.Net = paperNetwork()
+			sp.Topology, sp.RanksPerNode = "hier", ranksPerNode
 		}
 		if compressed {
-			o.CodecFor = func(int) codec.Codec { return hybrid.New(eb, hybrid.Auto) }
+			sp.Codec, sp.ErrorBound = "hybrid", float64(eb)
 		}
-		tr, err := dist.NewTrainer(o)
-		if err != nil {
-			return overlapRun{}, err
+		return sp
+	}
+	// Cell order: ranks ▸ topology ▸ codec, matching the row loop below.
+	var specs []scenario.Spec
+	for _, ranks := range rankSweep {
+		for _, hier := range []bool{false, true} {
+			for _, compressed := range []bool{false, true} {
+				specs = append(specs, mk(ranks, hier, compressed))
+			}
 		}
-		if _, err := tr.RunPipelined(steps, func(int) *criteo.Batch { return gen.NextBatch(batch) }); err != nil {
-			return overlapRun{}, err
-		}
-		bd := profileutil.Breakdown(tr.Cluster().SimTimes())
-		return overlapRun{
-			serial:     tr.SerialSimTime(),
-			overlapped: tr.OverlappedSimTime(),
-			a2a:        a2aTime(bd),
-			cr:         tr.CompressionRatio(),
-		}, nil
+	}
+	results, err := scenario.Sweep(specs, scenario.SweepOptions{})
+	if err != nil {
+		return nil, err
 	}
 
 	var rows [][]string
@@ -88,17 +68,17 @@ func runOverlap(opts Options) (*Result, error) {
 		speedup float64
 	}
 	var checks []verdict
+	idx := 0
 	for _, ranks := range rankSweep {
 		for _, hier := range []bool{false, true} {
 			for _, compressed := range []bool{false, true} {
-				res, err := run(ranks, hier, compressed)
-				if err != nil {
-					return nil, fmt.Errorf("ranks %d hier=%v compressed=%v: %w", ranks, hier, compressed, err)
-				}
-				speedup := float64(res.serial) / float64(res.overlapped)
+				res := results[idx]
+				idx++
+				a2a := a2aTime(res.SimTime)
+				speedup := float64(res.SerialSimTime) / float64(res.OverlappedSimTime)
 				recovered := 0.0
-				if res.a2a > 0 {
-					recovered = float64(res.serial-res.overlapped) / float64(res.a2a)
+				if a2a > 0 {
+					recovered = float64(res.SerialSimTime-res.OverlappedSimTime) / float64(a2a)
 				}
 				topo, codecName, crCell := "flat", "none", "-"
 				if hier {
@@ -106,7 +86,7 @@ func runOverlap(opts Options) (*Result, error) {
 				}
 				if compressed {
 					codecName = "hybrid"
-					crCell = fmt.Sprintf("%.1f", res.cr)
+					crCell = fmt.Sprintf("%.1f", res.CompressionRatio)
 				}
 				if hier {
 					checks = append(checks, verdict{ranks, codecName, speedup})
@@ -116,10 +96,10 @@ func runOverlap(opts Options) (*Result, error) {
 					topo,
 					codecName,
 					crCell,
-					res.serial.Round(time.Microsecond).String(),
-					res.overlapped.Round(time.Microsecond).String(),
+					res.SerialSimTime.Round(time.Microsecond).String(),
+					res.OverlappedSimTime.Round(time.Microsecond).String(),
 					fmt.Sprintf("%.2fx", speedup),
-					fmt.Sprintf("%.1f%%", 100*float64(res.a2a)/float64(res.serial)),
+					fmt.Sprintf("%.1f%%", 100*float64(a2a)/float64(res.SerialSimTime)),
 					fmt.Sprintf("%.1f%%", 100*recovered),
 				})
 			}

@@ -5,12 +5,9 @@ import (
 	"strings"
 	"time"
 
-	"dlrmcomp/internal/codec"
 	"dlrmcomp/internal/criteo"
-	"dlrmcomp/internal/dist"
-	"dlrmcomp/internal/hybrid"
-	"dlrmcomp/internal/netmodel"
 	"dlrmcomp/internal/profileutil"
+	"dlrmcomp/internal/scenario"
 )
 
 func init() {
@@ -28,14 +25,6 @@ func a2aTime(bd profileutil.Breakdown) time.Duration {
 		t += bd[label]
 	}
 	return t
-}
-
-// scalingRun is one cell of the sweep.
-type scalingRun struct {
-	total time.Duration
-	a2a   time.Duration
-	intra time.Duration
-	cr    float64
 }
 
 // runScaling asks the scale questions the flat model cannot: it sweeps the
@@ -56,39 +45,30 @@ func runScaling(opts Options) (*Result, error) {
 	}
 	const ranksPerNode = 4
 	base := criteo.TerabyteSpec()
-	spec := criteo.ScaledSpec(base, datasetScale(opts.Quick))
 	eb := probeEB(base)
 
-	run := func(ranks int, hier, compressed bool) (scalingRun, error) {
-		gen := criteo.NewGenerator(spec)
-		o := dist.Options{
-			Ranks:              ranks,
-			Model:              timingModelConfig(spec, opts.Quick),
-			Device:             paperDevice(),
-			OtherComputeFactor: 0.8,
-		}
+	mk := func(ranks int, hier, compressed bool) scenario.Spec {
+		sp := timingSpec(base, opts)
+		sp.Ranks, sp.Batch, sp.Steps = ranks, batch, steps
 		if hier {
-			o.Net = netmodel.PaperHierarchical(ranksPerNode)
-		} else {
-			o.Net = paperNetwork()
+			sp.Topology, sp.RanksPerNode = "hier", ranksPerNode
 		}
 		if compressed {
-			o.CodecFor = func(int) codec.Codec { return hybrid.New(eb, hybrid.Auto) }
+			sp.Codec, sp.ErrorBound = "hybrid", float64(eb)
 		}
-		tr, err := dist.NewTrainer(o)
-		if err != nil {
-			return scalingRun{}, err
+		return sp
+	}
+	// Cell order: ranks ▸ codec ▸ {flat, hier} — the pairing the row
+	// construction below indexes into.
+	var specs []scenario.Spec
+	for _, ranks := range rankSweep {
+		for _, compressed := range []bool{false, true} {
+			specs = append(specs, mk(ranks, false, compressed), mk(ranks, true, compressed))
 		}
-		bd, err := runTimed(tr, gen, steps, batch)
-		if err != nil {
-			return scalingRun{}, err
-		}
-		return scalingRun{
-			total: bd.Total(),
-			a2a:   a2aTime(bd),
-			intra: bd["fwd-a2a-intra"] + bd["bwd-a2a-intra"],
-			cr:    tr.CompressionRatio(),
-		}, nil
+	}
+	results, err := scenario.Sweep(specs, scenario.SweepOptions{})
+	if err != nil {
+		return nil, err
 	}
 
 	var rows [][]string
@@ -97,27 +77,26 @@ func runScaling(opts Options) (*Result, error) {
 		speedup float64
 	}
 	var checks []verdict
+	idx := 0
 	for _, ranks := range rankSweep {
 		for _, compressed := range []bool{false, true} {
-			flat, err := run(ranks, false, compressed)
-			if err != nil {
-				return nil, fmt.Errorf("ranks %d flat: %w", ranks, err)
-			}
-			hier, err := run(ranks, true, compressed)
-			if err != nil {
-				return nil, fmt.Errorf("ranks %d hierarchical: %w", ranks, err)
-			}
-			e2e := float64(flat.total) / float64(hier.total)
-			comm := float64(flat.a2a) / float64(hier.a2a)
+			flat, hier := results[idx], results[idx+1]
+			idx += 2
+			flatTotal := flat.SimTime.Total()
+			hierTotal := hier.SimTime.Total()
+			hierA2A := a2aTime(hier.SimTime)
+			e2e := float64(flatTotal) / float64(hierTotal)
+			comm := float64(a2aTime(flat.SimTime)) / float64(hierA2A)
 			intraShare := 0.0
-			if hier.a2a > 0 {
-				intraShare = float64(hier.intra) / float64(hier.a2a)
+			if hierA2A > 0 {
+				intra := hier.SimTime["fwd-a2a-intra"] + hier.SimTime["bwd-a2a-intra"]
+				intraShare = float64(intra) / float64(hierA2A)
 			}
 			name := "none"
 			crCell := "-"
 			if compressed {
 				name = "hybrid"
-				crCell = fmt.Sprintf("%.1f", hier.cr)
+				crCell = fmt.Sprintf("%.1f", hier.CompressionRatio)
 				checks = append(checks, verdict{ranks, e2e})
 			}
 			rows = append(rows, []string{
@@ -125,8 +104,8 @@ func runScaling(opts Options) (*Result, error) {
 				fmt.Sprintf("%d", (ranks+ranksPerNode-1)/ranksPerNode),
 				name,
 				crCell,
-				flat.total.Round(time.Microsecond).String(),
-				hier.total.Round(time.Microsecond).String(),
+				flatTotal.Round(time.Microsecond).String(),
+				hierTotal.Round(time.Microsecond).String(),
 				fmt.Sprintf("%.2fx", e2e),
 				fmt.Sprintf("%.2fx", comm),
 				fmt.Sprintf("%.1f%%", 100*intraShare),

@@ -3,16 +3,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"time"
 
-	"dlrmcomp/internal/codec"
 	"dlrmcomp/internal/criteo"
-	"dlrmcomp/internal/dist"
-	"dlrmcomp/internal/hybrid"
-	"dlrmcomp/internal/lowprec"
-	"dlrmcomp/internal/model"
-	"dlrmcomp/internal/netmodel"
-	"dlrmcomp/internal/profileutil"
+	"dlrmcomp/internal/scenario"
 )
 
 func init() {
@@ -30,76 +23,26 @@ func clusterScale(quick bool) (ranks, batch int) {
 	return 32, 2048
 }
 
-// paperNetwork reflects the paper's cluster: 4 GB/s effective all-to-all,
-// NVLink-assisted allreduce.
-func paperNetwork() netmodel.Network {
-	return netmodel.Network{
-		AllToAllBandwidth:  4e9,
-		AllReduceBandwidth: 60e9,
-		Latency:            2 * time.Microsecond,
-	}
-}
-
-// paperDevice uses a sustained MLP rate representative of DLRM-sized layers
-// on A100s (small per-GPU batches never reach peak tensor throughput).
-func paperDevice() netmodel.Device {
-	return netmodel.Device{FLOPS: 3e12, MemBandwidth: 1.3e12}
-}
-
-// timingModelConfig is the paper-scale DLRM (sparse feature size 64, the
-// reference arch MLPs).
-func timingModelConfig(spec criteo.Spec, quick bool) model.Config {
-	cfg := model.Config{
-		DenseFeatures:     spec.DenseFeatures,
-		EmbeddingDim:      64,
-		TableSizes:        spec.Cardinalities,
-		InitCardinalities: spec.FullCardinalities,
-		BottomMLP:         []int{512, 256},
-		TopMLP:            []int{512, 256},
-		Seed:              spec.Seed + 7,
-	}
+// timingSteps is the step budget of the timing experiments.
+func timingSteps(quick bool) int {
 	if quick {
-		cfg.EmbeddingDim = 16
-		cfg.BottomMLP = []int{128, 64}
-		cfg.TopMLP = []int{128, 64}
+		return 2
 	}
-	return cfg
-}
-
-// runTimed executes steps of the trainer and returns the sim-time breakdown.
-func runTimed(tr *dist.Trainer, gen *criteo.Generator, steps, batch int) (profileutil.Breakdown, error) {
-	for i := 0; i < steps; i++ {
-		if _, err := tr.Step(gen.NextBatch(batch)); err != nil {
-			return nil, err
-		}
-	}
-	return profileutil.Breakdown(tr.Cluster().SimTimes()), nil
+	return 3
 }
 
 // runFig1 reproduces Fig. 1: the time breakdown of uncompressed DLRM
 // training at cluster scale, showing all-to-all dominating (> 60%).
 func runFig1(opts Options) (*Result, error) {
 	ranks, batch := clusterScale(opts.Quick)
-	spec := criteo.ScaledSpec(criteo.TerabyteSpec(), datasetScale(opts.Quick))
-	gen := criteo.NewGenerator(spec)
-	tr, err := dist.NewTrainer(dist.Options{
-		Ranks:              ranks,
-		Model:              timingModelConfig(spec, opts.Quick),
-		Net:                paperNetwork(),
-		Device:             paperDevice(),
-		OtherComputeFactor: 0.8,
-	})
+	steps := timingSteps(opts.Quick)
+	sp := timingSpec(criteo.TerabyteSpec(), opts)
+	sp.Ranks, sp.Batch, sp.Steps = ranks, batch, steps
+	results, err := scenario.Sweep([]scenario.Spec{sp}, scenario.SweepOptions{})
 	if err != nil {
 		return nil, err
 	}
-	steps := 3
-	if opts.Quick {
-		steps = 2
-	}
-	bd, err := runTimed(tr, gen, steps, batch)
-	if err != nil {
-		return nil, err
-	}
+	bd := results[0].SimTime
 	a2aShare := bd.Share("fwd-a2a") + bd.Share("bwd-a2a")
 	text := fmt.Sprintf("uncompressed DLRM training, %d ranks, global batch %d, %d steps\n\n%s\nall-to-all share: %.1f%% (paper: >60%%)\n",
 		ranks, batch, steps, bd.String(), 100*a2aShare)
@@ -111,51 +54,31 @@ func runFig1(opts Options) (*Result, error) {
 // end-to-end speedups on both datasets.
 func runFig12(opts Options) (*Result, error) {
 	ranks, batch := clusterScale(opts.Quick)
-	steps := 3
-	if opts.Quick {
-		steps = 2
-	}
+	steps := timingSteps(opts.Quick)
 	var sb strings.Builder
 	for _, base := range []criteo.Spec{criteo.KaggleSpec(), criteo.TerabyteSpec()} {
-		spec := criteo.ScaledSpec(base, datasetScale(opts.Quick))
 		eb := probeEB(base)
-
-		run := func(compressed bool) (profileutil.Breakdown, float64, error) {
-			gen := criteo.NewGenerator(spec)
-			o := dist.Options{
-				Ranks:              ranks,
-				Model:              timingModelConfig(spec, opts.Quick),
-				Net:                paperNetwork(),
-				Device:             paperDevice(),
-				OtherComputeFactor: 0.8,
+		mk := func(codecName string) scenario.Spec {
+			sp := timingSpec(base, opts)
+			sp.Ranks, sp.Batch, sp.Steps = ranks, batch, steps
+			sp.Codec = codecName
+			if codecName != "none" {
+				sp.ErrorBound = float64(eb)
 			}
-			if compressed {
-				o.CodecFor = func(int) codec.Codec { return hybrid.New(eb, hybrid.Auto) }
-			}
-			tr, err := dist.NewTrainer(o)
-			if err != nil {
-				return nil, 0, err
-			}
-			bd, err := runTimed(tr, gen, steps, batch)
-			if err != nil {
-				return nil, 0, err
-			}
-			return bd, tr.CompressionRatio(), nil
+			return sp
 		}
-
-		baseBD, _, err := run(false)
+		results, err := scenario.Sweep([]scenario.Spec{mk("none"), mk("hybrid")}, scenario.SweepOptions{})
 		if err != nil {
 			return nil, err
 		}
-		compBD, cr, err := run(true)
-		if err != nil {
-			return nil, err
-		}
+		baseBD, compBD := results[0].SimTime, results[1].SimTime
+		cr := results[1].CompressionRatio
 		commBase := baseBD["fwd-a2a"]
 		commComp := compBD["fwd-a2a"] + compBD["compress"] + compBD["decompress"]
 		commSpeedup := float64(commBase) / float64(commComp)
 		e2eSpeedup := float64(baseBD.Total()) / float64(compBD.Total())
-		fmt.Fprintf(&sb, "dataset %s (CR %.1f)\n-- baseline --\n%s\n-- with hybrid compression --\n%s\n", spec.Name, cr, baseBD.String(), compBD.String())
+		dataName := criteo.ScaledSpec(base, scenario.DefaultScale(opts.Quick)).Name
+		fmt.Fprintf(&sb, "dataset %s (CR %.1f)\n-- baseline --\n%s\n-- with hybrid compression --\n%s\n", dataName, cr, baseBD.String(), compBD.String())
 		fmt.Fprintf(&sb, "fwd all-to-all speedup: %.2fx   end-to-end speedup: %.2fx\n(paper: 6.22x/1.30x on Kaggle, 8.6x/1.38x on Terabyte)\n\n",
 			commSpeedup, e2eSpeedup)
 	}
@@ -165,9 +88,6 @@ func runFig12(opts Options) (*Result, error) {
 // runFig8 reproduces Fig. 8: accuracy and delta-accuracy of FP32 baseline,
 // FP16, FP8, and the error-bounded compressor (fixed global eb 0.02).
 func runFig8(opts Options) (*Result, error) {
-	spec := criteo.ScaledSpec(criteo.KaggleSpec(), datasetScale(opts.Quick))
-	ranks := 4
-	batch := 128
 	steps := 300
 	if opts.Quick {
 		steps = 50
@@ -179,49 +99,40 @@ func runFig8(opts Options) (*Result, error) {
 
 	configs := []struct {
 		name  string
-		codec func() codec.Codec
+		codec string
+		eb    float64
 	}{
-		{"fp32-baseline", nil},
-		{"fp16", func() codec.Codec { return lowprec.FP16Codec{} }},
-		{"fp8-e4m3", func() codec.Codec { return lowprec.FP8Codec{Format: lowprec.E4M3} }},
-		{"ours-eb0.02", func() codec.Codec { return hybrid.New(0.02, hybrid.Auto) }},
+		{"fp32-baseline", "none", 0},
+		{"fp16", "fp16", 0},
+		{"fp8-e4m3", "fp8", 0},
+		{"ours-eb0.02", "hybrid", 0.02},
+	}
+	specs := make([]scenario.Spec, len(configs))
+	for i, cf := range configs {
+		sp := expSpec(criteo.KaggleSpec(), 16, opts)
+		sp.Ranks, sp.Batch, sp.Steps, sp.Eval = 4, 128, steps, evalN
+		sp.Codec, sp.ErrorBound = cf.codec, cf.eb
+		specs[i] = sp
+	}
+	results, err := scenario.Sweep(specs, scenario.SweepOptions{})
+	if err != nil {
+		return nil, err
 	}
 
 	var rows [][]string
-	var baseAcc float64
-	for _, cf := range configs {
-		gen := criteo.NewGenerator(spec)
-		o := dist.Options{Ranks: ranks, Model: modelConfigFor(spec, 16)}
-		if cf.codec != nil {
-			c := cf.codec()
-			o.CodecFor = func(int) codec.Codec { return c }
-		}
-		tr, err := dist.NewTrainer(o)
-		if err != nil {
-			return nil, err
-		}
-		var lastLoss float32
-		for i := 0; i < steps; i++ {
-			lastLoss, err = tr.Step(gen.NextBatch(batch))
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", cf.name, err)
-			}
-		}
-		acc, logloss := tr.Evaluate(gen.NextBatch(evalN))
-		if cf.name == "fp32-baseline" {
-			baseAcc = acc
-		}
-		cr := tr.CompressionRatio()
+	baseAcc := results[0].Accuracy
+	for i, cf := range configs {
+		res := results[i]
 		crCell := "-"
-		if cf.codec != nil {
-			crCell = fmt.Sprintf("%.2f", cr)
+		if cf.codec != "none" {
+			crCell = fmt.Sprintf("%.2f", res.CompressionRatio)
 		}
 		rows = append(rows, []string{
 			cf.name,
-			fmt.Sprintf("%.4f", acc),
-			fmt.Sprintf("%+.4f%%", 100*(acc-baseAcc)),
-			fmt.Sprintf("%.4f", logloss),
-			fmt.Sprintf("%.4f", lastLoss),
+			fmt.Sprintf("%.4f", res.Accuracy),
+			fmt.Sprintf("%+.4f%%", 100*(res.Accuracy-baseAcc)),
+			fmt.Sprintf("%.4f", res.LogLoss),
+			fmt.Sprintf("%.4f", res.Losses[len(res.Losses)-1]),
 			crCell,
 		})
 	}

@@ -118,6 +118,14 @@ func A100() Device {
 	}
 }
 
+// PaperDevice returns the sustained MLP rate representative of DLRM-sized
+// layers on the paper's A100s: small per-GPU batches never reach peak
+// tensor throughput, so the timing experiments calibrate against this
+// rather than A100()'s dense-math ceiling.
+func PaperDevice() Device {
+	return Device{FLOPS: 3e12, MemBandwidth: 1.3e12}
+}
+
 // MLPTime models a dense forward or backward pass of the given FLOP count.
 // Positive work is never rounded below 1ns so accounting stays monotone at
 // toy scales.

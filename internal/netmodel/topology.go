@@ -324,6 +324,21 @@ func maxInt64s(xs []int64) int64 {
 	return m
 }
 
+// ByName maps a configuration string onto a paper-calibrated topology:
+// "flat" (or "") is the single-link Slingshot10 model, "hier" (or
+// "hierarchical") the two-level PaperHierarchical model with the given
+// ranks-per-node width (<= 0 selects the testbed's 4). It is the single
+// name-to-topology mapping the drivers and the scenario layer share.
+func ByName(name string, ranksPerNode int) (Topology, error) {
+	switch name {
+	case "", "flat":
+		return Slingshot10(), nil
+	case "hier", "hierarchical":
+		return PaperHierarchical(ranksPerNode), nil
+	}
+	return nil, fmt.Errorf("netmodel: unknown topology %q (want flat or hier)", name)
+}
+
 // Interface conformance: both models are pluggable topologies.
 var (
 	_ Topology = Network{}

@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/cluster"
+	"dlrmcomp/internal/codec"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/cuszlike"
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/fzgpulike"
+	"dlrmcomp/internal/hybrid"
+	"dlrmcomp/internal/lowprec"
+	"dlrmcomp/internal/lz4like"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/netmodel"
+)
+
+// Built is a scenario turned into live objects: the resolved Spec, the
+// scaled dataset and its generator, the interconnect model, and the trainer
+// wired with codec, controller, and device exactly as the Spec declares.
+type Built struct {
+	// Spec is the resolved (defaults-filled) scenario.
+	Spec Spec
+	// Data is the scaled criteo dataset spec the generator draws from.
+	Data criteo.Spec
+	// Gen is the training batch stream. The offline classification of an
+	// adaptive scenario with WarmSteps == 0 samples its first batch from
+	// this generator (the CLI's offline flow), so training resumes from the
+	// post-probe stream state.
+	Gen *criteo.Generator
+	// Net is the interconnect topology the trainer charges sim-time against.
+	Net netmodel.Topology
+	// Trainer is the hybrid-parallel trainer, ready to Step.
+	Trainer *dist.Trainer
+	// Offline holds the offline classification when the adaptive flow ran
+	// with Classes == "offline" (nil otherwise).
+	Offline *adapt.OfflineResult
+}
+
+// codecFactory maps a resolved codec name onto a constructor returning a
+// fresh instance per call (per-table instances keep the adaptive
+// controller's per-table bounds independent). "none" returns nil.
+func codecFactory(name string, eb float32) func() codec.Codec {
+	switch name {
+	case "hybrid":
+		return func() codec.Codec { return hybrid.New(eb, hybrid.Auto) }
+	case "vector":
+		return func() codec.Codec { return hybrid.New(eb, hybrid.VectorLZ) }
+	case "huffman":
+		return func() codec.Codec { return hybrid.New(eb, hybrid.Entropy) }
+	case "fp16":
+		return func() codec.Codec { return lowprec.FP16Codec{} }
+	case "fp8":
+		return func() codec.Codec { return lowprec.FP8Codec{Format: lowprec.E4M3} }
+	case "cusz":
+		return func() codec.Codec { return cuszlike.New(eb, cuszlike.Lorenzo1D) }
+	case "fzgpu":
+		return func() codec.Codec { return fzgpulike.New(eb) }
+	case "lz4":
+		return func() codec.Codec { return lz4like.LZSSCodec{} }
+	case "deflate":
+		return func() codec.Codec { return lz4like.DeflateCodec{} }
+	}
+	return nil
+}
+
+// scaledData returns the (possibly seed-overridden) scaled dataset spec of
+// a resolved scenario.
+func scaledData(rs Spec) criteo.Spec {
+	data := baseSpec(rs.Dataset)
+	if rs.Seed != 0 {
+		data.Seed = rs.Seed
+	}
+	return criteo.ScaledSpec(data, rs.Scale)
+}
+
+// modelConfig returns the DLRM config a resolved scenario declares over its
+// scaled dataset.
+func modelConfig(rs Spec, data criteo.Spec) model.Config {
+	seed := rs.ModelSeed
+	if seed == 0 {
+		seed = data.Seed
+	}
+	return model.Config{
+		DenseFeatures:     data.DenseFeatures,
+		EmbeddingDim:      rs.Dim,
+		TableSizes:        data.Cardinalities,
+		InitCardinalities: data.FullCardinalities,
+		BottomMLP:         rs.BottomMLP,
+		TopMLP:            rs.TopMLP,
+		Seed:              seed,
+	}
+}
+
+// Build resolves the spec and assembles the scenario: topology, dataset
+// generator, model config, per-table codecs, the adaptive controller (with
+// its offline classification when requested), and the trainer.
+func (s Spec) Build() (*Built, error) {
+	rs, err := s.Resolved()
+	if err != nil {
+		return nil, err
+	}
+	data := scaledData(rs)
+	gen := criteo.NewGenerator(data)
+	net, err := netmodel.ByName(rs.Topology, rs.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	algo, err := cluster.ParseA2AAlgo(rs.A2A)
+	if err != nil {
+		return nil, err
+	}
+	cfg := modelConfig(rs, data)
+
+	opts := dist.Options{
+		Ranks:              rs.Ranks,
+		Model:              cfg,
+		Net:                net,
+		Algo:               algo,
+		OtherComputeFactor: rs.OtherComputeFactor,
+		CodecWorkers:       rs.CodecWorkers,
+	}
+	if rs.Device == "paper" {
+		opts.Device = netmodel.PaperDevice()
+	}
+	makeCodec := codecFactory(rs.Codec, float32(rs.ErrorBound))
+	if makeCodec != nil {
+		opts.CodecFor = func(int) codec.Codec { return makeCodec() }
+	} else if rs.Codec != "none" {
+		// Validation accepted the name but the factory has no case for it:
+		// a drift between codecNames and codecFactory. Running uncompressed
+		// silently is exactly the failure mode this layer removes.
+		return nil, fmt.Errorf("scenario: codec %q validated but has no factory; codecNames and codecFactory have drifted", rs.Codec)
+	}
+
+	b := &Built{Spec: rs, Data: data, Gen: gen, Net: net}
+	if rs.Adaptive {
+		ctrl, offline, err := buildController(rs, data, cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		opts.Controller = ctrl
+		b.Offline = offline
+	}
+	tr, err := dist.NewTrainer(opts)
+	if err != nil {
+		return nil, err
+	}
+	b.Trainer = tr
+	return b, nil
+}
+
+// buildController assembles the adaptive controller a resolved scenario
+// declares: either a uniform ClassMedium configuration or the paper's
+// offline classification — sampled from a probe model warmed WarmSteps
+// single-process steps (its own generator), or, when WarmSteps is 0, from
+// the freshly-initialized model on the training generator's first batch.
+func buildController(rs Spec, data criteo.Spec, cfg model.Config, gen *criteo.Generator) (*adapt.Controller, *adapt.OfflineResult, error) {
+	var classes []adapt.Class
+	var offline *adapt.OfflineResult
+	switch rs.Classes {
+	case "uniform":
+		classes = make([]adapt.Class, len(cfg.TableSizes))
+		for i := range classes {
+			classes[i] = adapt.ClassMedium
+		}
+	case "offline":
+		var samples [][]float32
+		if rs.WarmSteps > 0 {
+			env, err := buildEnvResolved(rs, data)
+			if err != nil {
+				return nil, nil, err
+			}
+			samples, _ = env.SampleLookups(rs.OfflineBatch)
+		} else {
+			probe, err := model.New(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			bt := gen.NextBatch(rs.OfflineBatch)
+			samples = make([][]float32, len(probe.Emb.Tables))
+			for t, tab := range probe.Emb.Tables {
+				samples[t] = tab.Lookup(bt.Indices[t]).Data
+			}
+		}
+		res, err := adapt.OfflineAnalysis(samples, rs.Dim, adapt.OfflineOptions{SampleEB: float32(rs.OfflineEB)})
+		if err != nil {
+			return nil, nil, err
+		}
+		classes, offline = res.Classes, res
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown classes %q", rs.Classes)
+	}
+	sched, err := adapt.ParseSchedule(rs.Schedule)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl, err := adapt.NewController(classes, adapt.PaperEBConfig(), sched, rs.DecayPhase, rs.DecayFactor)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ctrl, offline, nil
+}

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/nn"
+)
+
+// warmBatch is the single-process mini-batch size of the standard warm
+// recipe (the offline-analysis experiments all warm with it).
+const warmBatch = 128
+
+// Env is a warmed single-process probe environment: the model and
+// generator the offline analysis (and the compression experiments) sample
+// lookup batches from. It is the single-process counterpart of Built.
+type Env struct {
+	// Spec is the resolved scenario the env was built from.
+	Spec Spec
+	// Data is the scaled criteo dataset spec.
+	Data criteo.Spec
+	// Gen is the env's own batch stream (independent of any trainer's).
+	Gen *criteo.Generator
+	// Model is the probe DLRM, warmed Spec.WarmSteps steps at construction.
+	Model *model.DLRM
+	// Dim is the embedding dimension (Spec.Dim, mirrored for convenience).
+	Dim int
+}
+
+// BuildEnv resolves the spec and builds its probe environment: a fresh
+// generator and model over the scaled dataset, warmed Spec.WarmSteps
+// single-process steps (trained tables are what the paper compresses).
+func (s Spec) BuildEnv() (*Env, error) {
+	rs, err := s.Resolved()
+	if err != nil {
+		return nil, err
+	}
+	return buildEnvResolved(rs, scaledData(rs))
+}
+
+// buildEnvResolved is BuildEnv after resolution, shared with the adaptive
+// offline flow so both sample from an identically-constructed env.
+func buildEnvResolved(rs Spec, data criteo.Spec) (*Env, error) {
+	m, err := model.New(modelConfig(rs, data))
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{Spec: rs, Data: data, Gen: criteo.NewGenerator(data), Model: m, Dim: rs.Dim}
+	e.Warm(rs.WarmSteps)
+	return e, nil
+}
+
+// Warm advances the env's model by additional single-process training steps
+// using the standard recipe (batch 128, the default dense and embedding
+// learning rates).
+func (e *Env) Warm(steps int) {
+	opt := &nn.SGD{LR: dist.DefaultDenseLR}
+	for i := 0; i < steps; i++ {
+		b := e.Gen.NextBatch(warmBatch)
+		e.Model.TrainStep(b.Dense, b.Indices, b.Labels, opt, dist.DefaultEmbLR)
+	}
+}
+
+// SampleLookups gathers one lookup batch per table — the data that flows
+// through the forward all-to-all — plus the batch it came from.
+func (e *Env) SampleLookups(batch int) ([][]float32, *criteo.Batch) {
+	b := e.Gen.NextBatch(batch)
+	out := make([][]float32, len(e.Model.Emb.Tables))
+	for t, tab := range e.Model.Emb.Tables {
+		out[t] = tab.Lookup(b.Indices[t]).Data
+	}
+	return out, b
+}
+
+// DefaultScale is the dataset cardinality scale-down the experiment suite
+// uses: aggressive in quick (CI) mode, the paper-feasible 400x otherwise.
+func DefaultScale(quick bool) int {
+	if quick {
+		return 4000
+	}
+	return 400
+}
+
+// DefaultWarmSteps is the experiment suite's warm length before sampling
+// (trained tables are what the paper compresses).
+func DefaultWarmSteps(quick bool) int {
+	if quick {
+		return 40
+	}
+	return 300
+}

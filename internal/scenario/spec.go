@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/cluster"
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/netmodel"
+)
+
+// Spec declares one training scenario. The zero value of every field means
+// "use the documented default", so a JSON file (or a struct literal) only
+// names the knobs it cares about. Specs are pure data: Build turns one into
+// a live trainer, Validate reports every inconsistency at once.
+type Spec struct {
+	// Name labels the scenario in sweep output and JSON files.
+	Name string `json:"name,omitempty"`
+
+	// Dataset is "kaggle" (default) or "terabyte".
+	Dataset string `json:"dataset,omitempty"`
+	// Scale divides every table cardinality (criteo.ScaledSpec); <= 1 keeps
+	// the full-size dataset.
+	Scale int `json:"scale,omitempty"`
+	// Dim is the embedding dimension (0 = 16).
+	Dim int `json:"dim,omitempty"`
+	// Batch is the global batch size (0 = the dataset's default batch). It
+	// is rounded down to a multiple of the rank count, as the trainer
+	// shards batches evenly.
+	Batch int `json:"batch,omitempty"`
+	// Steps is the number of training steps to run.
+	Steps int `json:"steps,omitempty"`
+	// Eval is the evaluation sample count after training (0 = skip eval).
+	Eval int `json:"eval,omitempty"`
+
+	// Ranks is the simulated GPU count (0 = 8, or Nodes×RanksPerNode when
+	// Nodes is set). Setting both Ranks and Nodes to inconsistent values is
+	// a validation error, not a silent override.
+	Ranks int `json:"ranks,omitempty"`
+	// Nodes is the node count; when > 0 the rank count is Nodes×RanksPerNode.
+	Nodes int `json:"nodes,omitempty"`
+	// RanksPerNode is the node width for the hierarchical topology (0 = 4).
+	RanksPerNode int `json:"ranks_per_node,omitempty"`
+	// Topology is "flat" (default; single α-β link) or "hier" (two-level,
+	// per-link sim-time attribution).
+	Topology string `json:"topology,omitempty"`
+	// A2A selects the all-to-all algorithm: "auto" (default), "direct", or
+	// "twophase".
+	A2A string `json:"a2a,omitempty"`
+
+	// Codec names the forward all-to-all compressor: "none" (default),
+	// "hybrid", "vector", "huffman", "fp16", "fp8", "cusz", "fzgpu", "lz4",
+	// or "deflate".
+	Codec string `json:"codec,omitempty"`
+	// ErrorBound is the absolute error bound for error-bounded codecs.
+	// Required (> 0) when Codec is error-bounded and Adaptive is off.
+	ErrorBound float64 `json:"eb,omitempty"`
+	// CodecWorkers bounds the intra-rank codec worker pool
+	// (dist.Options.CodecWorkers); 0 = auto, negative = sequential.
+	CodecWorkers int `json:"codec_workers,omitempty"`
+
+	// Adaptive enables the dual-level adaptive error-bound controller.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Classes selects the table classification: "offline" (default; run the
+	// paper's offline analysis) or "uniform" (every table ClassMedium).
+	Classes string `json:"classes,omitempty"`
+	// Schedule is the iteration-wise decay function: "none", "stepwise"
+	// (default when Adaptive), "logarithmic", "linear", "exponential", or
+	// "drop".
+	Schedule string `json:"schedule,omitempty"`
+	// DecayPhase is the decay phase length in steps (0 = Steps/2 for
+	// decaying schedules).
+	DecayPhase int `json:"decay_phase,omitempty"`
+	// DecayFactor is the starting error-bound multiplier (0 = 2 for
+	// decaying schedules, 1 for "none").
+	DecayFactor float64 `json:"decay_factor,omitempty"`
+	// OfflineBatch is the sample batch for the offline classification
+	// (0 = the dataset's default batch).
+	OfflineBatch int `json:"offline_batch,omitempty"`
+	// OfflineEB is the probe error bound of the offline analysis
+	// (0 = ErrorBound).
+	OfflineEB float64 `json:"offline_eb,omitempty"`
+
+	// Overlap pipelines the forward all-to-all of batch k+1 behind the MLP
+	// of batch k (dist.Trainer.RunPipelined; same math, overlapped clock).
+	Overlap bool `json:"overlap,omitempty"`
+
+	// BottomMLP / TopMLP are the dense MLP layer widths (nil = [64, 32]).
+	BottomMLP []int `json:"bottom_mlp,omitempty"`
+	TopMLP    []int `json:"top_mlp,omitempty"`
+	// Device is "a100" (default; netmodel.A100) or "paper" (the sustained
+	// DLRM-layer rate the timing experiments calibrate against).
+	Device string `json:"device,omitempty"`
+	// OtherComputeFactor charges an "other" bucket of this fraction of the
+	// MLP time per step (dist.Options.OtherComputeFactor).
+	OtherComputeFactor float64 `json:"other_compute_factor,omitempty"`
+
+	// Seed overrides the dataset seed (0 = the dataset's own seed), making
+	// per-scenario streams independent inside a sweep.
+	Seed uint64 `json:"seed,omitempty"`
+	// ModelSeed overrides the model-init seed (0 = the dataset seed).
+	ModelSeed uint64 `json:"model_seed,omitempty"`
+	// WarmSteps warms BuildEnv's probe model (and the offline
+	// classification's, when Adaptive) by this many single-process steps
+	// before sampling. 0 samples from initialization, consuming the
+	// training generator — the CLI's offline flow.
+	WarmSteps int `json:"warm_steps,omitempty"`
+}
+
+// datasets, devices, and classes the Spec accepts ("" = default).
+var (
+	datasetNames = map[string]bool{"": true, "kaggle": true, "terabyte": true}
+	deviceNames  = map[string]bool{"": true, "a100": true, "paper": true}
+	classNames   = map[string]bool{"": true, "offline": true, "uniform": true}
+)
+
+// errorBoundedCodecs are the codec names whose frames honor ErrorBound (and
+// which the adaptive controller can drive).
+var errorBoundedCodecs = map[string]bool{
+	"hybrid": true, "vector": true, "huffman": true, "cusz": true, "fzgpu": true,
+}
+
+// codecNames is every accepted Codec value ("" = "none").
+var codecNames = map[string]bool{
+	"": true, "none": true, "hybrid": true, "vector": true, "huffman": true,
+	"fp16": true, "fp8": true, "cusz": true, "fzgpu": true, "lz4": true, "deflate": true,
+}
+
+// baseSpec returns the criteo dataset spec a Dataset name denotes.
+func baseSpec(name string) criteo.Spec {
+	if name == "terabyte" {
+		return criteo.TerabyteSpec()
+	}
+	return criteo.KaggleSpec()
+}
+
+// resolvedRanks computes the rank count the spec denotes, applying the
+// Nodes×RanksPerNode product and the defaults.
+func (s Spec) resolvedRanks() int {
+	rpn := s.RanksPerNode
+	if rpn <= 0 {
+		rpn = 4
+	}
+	if s.Nodes > 0 {
+		return s.Nodes * rpn
+	}
+	if s.Ranks > 0 {
+		return s.Ranks
+	}
+	return 8
+}
+
+// Validate checks the spec and returns every problem it finds, joined into
+// one error (errors.Join) so a driver can print the complete list instead
+// of the first complaint. A nil return means Build will accept the spec.
+func (s Spec) Validate() error {
+	var errs []error
+	add := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if !datasetNames[s.Dataset] {
+		add("unknown dataset %q (want kaggle or terabyte)", s.Dataset)
+	}
+	if !deviceNames[s.Device] {
+		add("unknown device %q (want a100 or paper)", s.Device)
+	}
+	if !classNames[s.Classes] {
+		add("unknown classes %q (want offline or uniform)", s.Classes)
+	}
+	if !codecNames[s.Codec] {
+		add("unknown codec %q (want none, hybrid, vector, huffman, fp16, fp8, cusz, fzgpu, lz4, or deflate)", s.Codec)
+	}
+	if _, err := netmodel.ByName(s.Topology, s.RanksPerNode); err != nil {
+		errs = append(errs, err)
+	}
+	if _, err := cluster.ParseA2AAlgo(s.A2A); err != nil {
+		errs = append(errs, err)
+	}
+	if _, err := adapt.ParseSchedule(s.Schedule); err != nil {
+		errs = append(errs, err)
+	}
+
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"scale", s.Scale}, {"dim", s.Dim}, {"batch", s.Batch}, {"steps", s.Steps},
+		{"eval", s.Eval}, {"ranks", s.Ranks}, {"nodes", s.Nodes},
+		{"ranks_per_node", s.RanksPerNode}, {"decay_phase", s.DecayPhase},
+		{"offline_batch", s.OfflineBatch}, {"warm_steps", s.WarmSteps},
+	} {
+		if f.v < 0 {
+			add("%s must be >= 0, got %d", f.name, f.v)
+		}
+	}
+	if s.ErrorBound < 0 {
+		add("eb must be >= 0, got %v", s.ErrorBound)
+	}
+	if s.OfflineEB < 0 {
+		add("offline_eb must be >= 0, got %v", s.OfflineEB)
+	}
+	if s.DecayFactor != 0 && s.DecayFactor < 1 {
+		add("decay_factor must be >= 1 (or 0 for the default), got %v", s.DecayFactor)
+	}
+
+	// Cluster-shape consistency: the old driver silently let
+	// -nodes/-ranks-per-node override -ranks; here the mismatch is an error.
+	rpn := s.RanksPerNode
+	if rpn == 0 {
+		rpn = 4
+	}
+	if s.Ranks > 0 && s.Nodes > 0 && rpn > 0 && s.Ranks != s.Nodes*rpn {
+		add("ranks %d is inconsistent with nodes %d × ranks_per_node %d = %d; drop ranks or fix the product",
+			s.Ranks, s.Nodes, rpn, s.Nodes*rpn)
+	}
+	// An explicit nodes=1 with the hierarchical topology can only be a
+	// mistake — the requested node structure never exercises the
+	// inter-node link. (A rank count that merely fits in one node, with
+	// Nodes unset, stays legal: it is the degenerate intra-only baseline
+	// the small end of the scaling sweep compares against.)
+	hier := s.Topology == "hier" || s.Topology == "hierarchical"
+	if hier && s.Nodes == 1 {
+		add("hierarchical topology with an explicit nodes=1 never exercises the inter-node link; use topology=flat, nodes >= 2, or omit nodes")
+	}
+	if !hier && s.Nodes > 1 {
+		add("nodes=%d requires topology=hier (the flat topology has no node structure)", s.Nodes)
+	}
+	// Shardability of the batch the run would actually use, so a nil
+	// Validate really does mean Build will accept the spec: an unset batch
+	// means the dataset default.
+	if datasetNames[s.Dataset] {
+		batch, ranks := s.Batch, s.resolvedRanks()
+		if batch == 0 {
+			batch = baseSpec(s.Dataset).DefaultBatch
+		}
+		if batch < ranks {
+			if s.Batch == 0 {
+				add("default batch %d (dataset %s) is smaller than the %d ranks it must shard across; set batch explicitly", batch, baseSpec(s.Dataset).Name, ranks)
+			} else {
+				add("batch %d is smaller than the %d ranks it must shard across", batch, ranks)
+			}
+		}
+	}
+
+	// Codec / adaptive consistency.
+	codecName := s.Codec
+	if codecName == "" {
+		codecName = "none"
+	}
+	if codecNames[s.Codec] {
+		switch {
+		case s.Adaptive && codecName == "none":
+			add("adaptive error bounds need a codec; set codec (e.g. hybrid)")
+		case s.Adaptive && !errorBoundedCodecs[codecName]:
+			add("adaptive error bounds need an error-bounded codec, not %q", codecName)
+		case !s.Adaptive && errorBoundedCodecs[codecName] && s.ErrorBound == 0:
+			add("codec %q is error-bounded; set eb > 0", codecName)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Resolved validates the spec and returns a copy with every default filled
+// in: the canonical form Build runs and Result reports. Resolving an
+// already-resolved spec is the identity.
+func (s Spec) Resolved() (Spec, error) {
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	if s.Dataset == "" {
+		s.Dataset = "kaggle"
+	}
+	if s.Dim == 0 {
+		s.Dim = 16
+	}
+	switch s.Topology {
+	case "":
+		s.Topology = "flat"
+	case "hierarchical":
+		s.Topology = "hier"
+	}
+	if s.RanksPerNode == 0 {
+		s.RanksPerNode = 4
+	}
+	s.Ranks = s.resolvedRanks()
+	if s.A2A == "" {
+		s.A2A = "auto"
+	}
+	if s.Codec == "" {
+		s.Codec = "none"
+	}
+	if s.Device == "" {
+		s.Device = "a100"
+	}
+	if s.BottomMLP == nil {
+		s.BottomMLP = []int{64, 32}
+	}
+	if s.TopMLP == nil {
+		s.TopMLP = []int{64, 32}
+	}
+	base := baseSpec(s.Dataset)
+	if s.Batch == 0 {
+		s.Batch = base.DefaultBatch
+	}
+	s.Batch = s.Batch / s.Ranks * s.Ranks
+	if s.Batch == 0 {
+		return s, fmt.Errorf("scenario: default batch %d cannot shard across %d ranks; set batch explicitly", base.DefaultBatch, s.Ranks)
+	}
+	if s.Adaptive {
+		if s.Classes == "" {
+			s.Classes = "offline"
+		}
+		if s.Schedule == "" {
+			s.Schedule = "stepwise"
+		}
+		decaying := s.Schedule != "none"
+		if s.DecayFactor == 0 {
+			if decaying {
+				s.DecayFactor = 2
+			} else {
+				s.DecayFactor = 1
+			}
+		}
+		if s.DecayPhase == 0 && decaying {
+			s.DecayPhase = s.Steps / 2
+		}
+		if s.OfflineBatch == 0 {
+			s.OfflineBatch = base.DefaultBatch
+		}
+		if s.OfflineEB == 0 {
+			s.OfflineEB = s.ErrorBound
+		}
+	}
+	return s, nil
+}
+
+// LoadFile reads a Spec from a JSON file. Unknown fields are an error —
+// scenario files are declarative configuration, and a typoed knob silently
+// running the default workload is exactly the failure mode this layer
+// removes.
+func LoadFile(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/profileutil"
+)
+
+// Result is one completed scenario.
+type Result struct {
+	// Spec is the resolved scenario that produced the result.
+	Spec Spec `json:"spec"`
+	// Losses is the per-step training loss curve.
+	Losses []float32 `json:"losses,omitempty"`
+	// Accuracy and LogLoss are the post-training eval metrics (Spec.Eval > 0).
+	Accuracy float64 `json:"accuracy,omitempty"`
+	LogLoss  float64 `json:"logloss,omitempty"`
+	// CompressionRatio is raw/wire bytes of all codec'd forward all-to-all
+	// traffic (1 when uncompressed).
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+	// SimTime is the simulated time breakdown by bucket.
+	SimTime profileutil.Breakdown `json:"sim_time,omitempty"`
+	// SerialSimTime / OverlappedSimTime report both clocks of an overlapped
+	// run (zero unless Spec.Overlap).
+	SerialSimTime     time.Duration `json:"serial_sim_time,omitempty"`
+	OverlappedSimTime time.Duration `json:"overlapped_sim_time,omitempty"`
+	// Offline reports the L/M/S table counts when the offline
+	// classification ran.
+	Offline *OfflineCounts `json:"offline,omitempty"`
+	// WallClock is how long the scenario took for real. It is the one
+	// nondeterministic field: determinism comparisons must ignore it.
+	WallClock time.Duration `json:"wall_clock,omitempty"`
+}
+
+// OfflineCounts are the table counts per error-bound class.
+type OfflineCounts struct {
+	L int `json:"l"`
+	M int `json:"m"`
+	S int `json:"s"`
+}
+
+// Run executes the built scenario: Steps training steps (pipelined when
+// Spec.Overlap), the optional evaluation, and the metric harvest.
+func (b *Built) Run() (*Result, error) {
+	start := time.Now()
+	rs := b.Spec
+	res := &Result{Spec: rs}
+	if rs.Overlap {
+		losses, err := b.Trainer.RunPipelined(rs.Steps, func(int) *criteo.Batch { return b.Gen.NextBatch(rs.Batch) })
+		if err != nil {
+			return nil, err
+		}
+		res.Losses = losses
+		res.SerialSimTime = b.Trainer.SerialSimTime()
+		res.OverlappedSimTime = b.Trainer.OverlappedSimTime()
+	} else {
+		res.Losses = make([]float32, 0, rs.Steps)
+		for i := 0; i < rs.Steps; i++ {
+			loss, err := b.Trainer.Step(b.Gen.NextBatch(rs.Batch))
+			if err != nil {
+				return nil, err
+			}
+			res.Losses = append(res.Losses, loss)
+		}
+	}
+	if rs.Eval > 0 {
+		res.Accuracy, res.LogLoss = b.Trainer.Evaluate(b.Gen.NextBatch(rs.Eval))
+	}
+	res.CompressionRatio = b.Trainer.CompressionRatio()
+	res.SimTime = profileutil.Breakdown(b.Trainer.Cluster().SimTimes())
+	if b.Offline != nil {
+		l, m, s := b.Offline.ClassCounts()
+		res.Offline = &OfflineCounts{L: l, M: m, S: s}
+	}
+	res.WallClock = time.Since(start)
+	return res, nil
+}
+
+// Run builds and executes one scenario.
+func Run(s Spec) (*Result, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.Run()
+}
+
+// SweepOptions tunes the sweep runner.
+type SweepOptions struct {
+	// Workers bounds the worker pool (<= 0 = GOMAXPROCS). Results are
+	// bit-identical at any worker count: every scenario seeds its own
+	// generator and model from its Spec alone.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Sweep runs every spec on a bounded worker pool and returns the results
+// in spec order. A failed scenario leaves a nil slot in the results and
+// contributes one error to the joined return error, so one bad cell does
+// not discard the rest of the grid.
+func Sweep(specs []Spec, opts SweepOptions) ([]*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := Run(specs[i])
+				if err != nil {
+					name := specs[i].Name
+					if name == "" {
+						name = fmt.Sprintf("#%d", i)
+					}
+					errs[i] = fmt.Errorf("scenario %s: %w", name, err)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Axes expands per-axis value lists into the cross product of Specs: every
+// listed axis replaces the corresponding Base field; an empty axis keeps
+// Base's value. Expansion order is fixed and documented — Datasets
+// outermost, then Ranks, Topologies, Codecs, ErrorBounds, Schedules,
+// Overlaps innermost — so sweep output rows land in a predictable order.
+type Axes struct {
+	Base        Spec      `json:"base"`
+	Datasets    []string  `json:"datasets,omitempty"`
+	Ranks       []int     `json:"ranks,omitempty"`
+	Topologies  []string  `json:"topologies,omitempty"`
+	Codecs      []string  `json:"codecs,omitempty"`
+	ErrorBounds []float64 `json:"ebs,omitempty"`
+	Schedules   []string  `json:"schedules,omitempty"`
+	Overlaps    []bool    `json:"overlaps,omitempty"`
+}
+
+// expandAxis crosses the current spec list with one axis.
+func expandAxis[T any](in []Spec, vals []T, set func(*Spec, T)) []Spec {
+	if len(vals) == 0 {
+		return in
+	}
+	out := make([]Spec, 0, len(in)*len(vals))
+	for _, s := range in {
+		for _, v := range vals {
+			c := s
+			set(&c, v)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Expand returns the cross product of the axes over Base.
+func (a Axes) Expand() []Spec {
+	out := []Spec{a.Base}
+	out = expandAxis(out, a.Datasets, func(s *Spec, v string) { s.Dataset = v })
+	out = expandAxis(out, a.Ranks, func(s *Spec, v int) { s.Ranks = v })
+	out = expandAxis(out, a.Topologies, func(s *Spec, v string) { s.Topology = v })
+	out = expandAxis(out, a.Codecs, func(s *Spec, v string) { s.Codec = v })
+	out = expandAxis(out, a.ErrorBounds, func(s *Spec, v float64) { s.ErrorBound = v })
+	out = expandAxis(out, a.Schedules, func(s *Spec, v string) { s.Schedule = v })
+	out = expandAxis(out, a.Overlaps, func(s *Spec, v bool) { s.Overlap = v })
+	return out
+}

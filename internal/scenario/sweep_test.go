@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAxesExpand(t *testing.T) {
+	a := Axes{
+		Base:       Spec{Steps: 2, ErrorBound: 0.02},
+		Datasets:   []string{"kaggle", "terabyte"},
+		Ranks:      []int{4, 8},
+		Topologies: []string{"flat", "hier"},
+		Codecs:     []string{"none", "hybrid", "fp16"},
+	}
+	specs := a.Expand()
+	if len(specs) != 2*2*2*3 {
+		t.Fatalf("expanded %d specs, want %d", len(specs), 2*2*2*3)
+	}
+	// Fixed nesting: Datasets outermost … Codecs innermost.
+	if specs[0].Dataset != "kaggle" || specs[0].Ranks != 4 || specs[0].Topology != "flat" || specs[0].Codec != "none" {
+		t.Fatalf("first cell %+v", specs[0])
+	}
+	if specs[1].Codec != "hybrid" {
+		t.Fatalf("codec must vary innermost, got %+v", specs[1])
+	}
+	if last := specs[len(specs)-1]; last.Dataset != "terabyte" || last.Ranks != 8 || last.Topology != "hier" || last.Codec != "fp16" {
+		t.Fatalf("last cell %+v", last)
+	}
+	for i, s := range specs {
+		if s.Steps != 2 || s.ErrorBound != 0.02 {
+			t.Fatalf("cell %d lost base fields: %+v", i, s)
+		}
+	}
+	// An empty axis keeps the base value.
+	if got := (Axes{Base: Spec{Dataset: "terabyte"}}).Expand(); len(got) != 1 || got[0].Dataset != "terabyte" {
+		t.Fatalf("no-axis expansion: %+v", got)
+	}
+}
+
+// sweepSpecs is a small topology×codec grid for the runner tests.
+func sweepSpecs() []Spec {
+	base := tinySpec()
+	base.Steps = 2
+	base.ErrorBound = 0.02
+	base.Ranks = 8
+	return Axes{
+		Base:       base,
+		Topologies: []string{"flat", "hier"},
+		Codecs:     []string{"none", "hybrid"},
+	}.Expand()
+}
+
+// TestSweepDeterministicAcrossWorkers is the parallel-runner contract:
+// every scenario seeds its own generator and model from its Spec alone, so
+// the Results — losses, sim-time buckets, compression ratios, eval metrics
+// — are bit-identical at any worker count. WallClock is the documented
+// exception and is zeroed before comparing.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	specs := sweepSpecs()
+	var baseline []*Result
+	for _, workers := range []int{1, 2, 4} {
+		results, err := Sweep(specs, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, r := range results {
+			if r == nil {
+				t.Fatalf("workers=%d: missing result", workers)
+			}
+			r.WallClock = 0
+		}
+		if baseline == nil {
+			baseline = results
+			continue
+		}
+		if !reflect.DeepEqual(results, baseline) {
+			t.Fatalf("workers=%d produced different results than workers=1", workers)
+		}
+	}
+}
+
+func TestSweepKeepsGoodCellsOnError(t *testing.T) {
+	bad := tinySpec()
+	bad.Codec = "zstd"
+	bad.Name = "bad-cell"
+	specs := []Spec{sweepSpecs()[0], bad, sweepSpecs()[1]}
+	results, err := Sweep(specs, SweepOptions{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "bad-cell") {
+		t.Fatalf("want an error naming the bad cell, got %v", err)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Fatal("good cells must survive a bad one")
+	}
+	if results[1] != nil {
+		t.Fatal("bad cell must leave a nil slot")
+	}
+}
+
+func TestRunOverlapReportsBothClocks(t *testing.T) {
+	sp := tinySpec()
+	sp.Ranks, sp.Batch = 8, 64
+	sp.Topology = "hier"
+	sp.Overlap = true
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SerialSimTime <= 0 || res.OverlappedSimTime <= 0 {
+		t.Fatalf("overlap clocks missing: serial %v overlapped %v", res.SerialSimTime, res.OverlappedSimTime)
+	}
+	if res.OverlappedSimTime > res.SerialSimTime {
+		t.Fatalf("overlapped %v exceeds serial %v", res.OverlappedSimTime, res.SerialSimTime)
+	}
+}
