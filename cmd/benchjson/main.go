@@ -1,16 +1,23 @@
 // Command benchjson converts `go test -bench` text output into the JSON
-// report CI archives as a workflow artifact:
+// report CI archives as a workflow artifact, and diffs two such reports as
+// the perf-trend gate:
 //
 //	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | benchjson -o BENCH_ci.json
+//	benchjson -diff BENCH_baseline.json BENCH_ci.json -threshold-ns 400 -threshold-allocs 0
 //
-// Run the benchmarks with -benchmem: the parsed B/op and allocs/op columns
-// land in the JSON alongside ns/op, so the archived trajectory tracks
-// allocation regressions as well as time. -summary additionally prints a
-// fixed-width name/ns/B/allocs table to stderr for skimming the CI log.
+// Convert mode reads stdin and writes stdout unless -o is given. Run the
+// benchmarks with -benchmem: the parsed B/op and allocs/op columns land in
+// the JSON alongside ns/op, so the archived trajectory tracks allocation
+// regressions as well as time. -summary additionally prints a fixed-width
+// name/ns/B/allocs table to stderr for skimming the CI log. Parsing is
+// strict for benchmark lines (a garbled line fails the conversion rather
+// than silently dropping a metric), lenient for everything else.
 //
-// Reads stdin, writes stdout unless -o is given. Parsing is strict for
-// benchmark lines (a garbled line fails the conversion rather than silently
-// dropping a metric), lenient for everything else.
+// Diff mode compares every benchmark present in both reports over ns/op,
+// allocs/op, and B/op, prints the comparison table, and exits nonzero when
+// any metric grew beyond its -threshold-* tolerance (percent growth; a
+// negative tolerance disables that metric). This is what lets CI fail a PR
+// that regresses the step hot path against the committed baseline.
 package main
 
 import (
@@ -24,7 +31,22 @@ import (
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	summary := flag.Bool("summary", false, "also print a ns/B/allocs table to stderr")
+	diff := flag.Bool("diff", false, "diff mode: compare two JSON reports (old new) instead of converting")
+	thNs := flag.Float64("threshold-ns", benchfmt.DefaultThresholds.NsPct,
+		"diff: tolerated ns/op growth in percent (negative disables)")
+	thAllocs := flag.Float64("threshold-allocs", benchfmt.DefaultThresholds.AllocsPct,
+		"diff: tolerated allocs/op growth in percent (negative disables)")
+	thBytes := flag.Float64("threshold-bytes", benchfmt.DefaultThresholds.BytesPct,
+		"diff: tolerated B/op growth in percent (negative disables)")
 	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(flag.Args(), benchfmt.Thresholds{
+			NsPct:     *thNs,
+			AllocsPct: *thAllocs,
+			BytesPct:  *thBytes,
+		}))
+	}
 
 	rep, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
@@ -56,4 +78,40 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(rep.Results))
+}
+
+func runDiff(paths []string, th benchfmt.Thresholds) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
+		return 2
+	}
+	reports := make([]*benchfmt.Report, 2)
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+		reports[i], err = benchfmt.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	deltas := benchfmt.Diff(reports[0], reports[1], th)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks in common between", paths[0], "and", paths[1])
+		return 2
+	}
+	if err := benchfmt.WriteDeltas(os.Stdout, deltas); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if regs := benchfmt.Regressions(deltas); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond tolerance\n", len(regs))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d metrics within tolerance\n", len(deltas))
+	return 0
 }

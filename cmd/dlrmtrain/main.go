@@ -47,6 +47,7 @@ func main() {
 	phase := flag.Int("phase", 0, "decay phase length (0 = steps/2)")
 	evalN := flag.Int("eval", 4000, "evaluation sample count")
 	codecWorkers := flag.Int("codec-workers", 0, "intra-rank codec worker pool (0 = auto, negative = sequential)")
+	computeWorkers := flag.Int("compute-workers", 0, "intra-rank compute width: goroutines per rank for lookups, MLP matmuls, and the optimizer (0 = auto, 1 = single-threaded; bit-identical at any width)")
 	flag.Parse()
 
 	// Which flags did the user actually pass? Used both to reject workload
@@ -77,20 +78,21 @@ func main() {
 		}
 	} else {
 		spec = scenario.Spec{
-			Dataset:      *dataset,
-			Scale:        *scale,
-			Dim:          *dim,
-			Batch:        *batch,
-			Steps:        *steps,
-			Eval:         *evalN,
-			Topology:     *topology,
-			A2A:          *a2a,
-			Codec:        *codecName,
-			ErrorBound:   *eb,
-			Overlap:      *overlap,
-			CodecWorkers: *codecWorkers,
-			RanksPerNode: *ranksPerNode,
-			Nodes:        *nodes,
+			Dataset:        *dataset,
+			Scale:          *scale,
+			Dim:            *dim,
+			Batch:          *batch,
+			Steps:          *steps,
+			Eval:           *evalN,
+			Topology:       *topology,
+			A2A:            *a2a,
+			Codec:          *codecName,
+			ErrorBound:     *eb,
+			Overlap:        *overlap,
+			CodecWorkers:   *codecWorkers,
+			ComputeWorkers: *computeWorkers,
+			RanksPerNode:   *ranksPerNode,
+			Nodes:          *nodes,
 		}
 		if *adaptive {
 			spec.Adaptive = true

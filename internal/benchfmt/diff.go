@@ -1,0 +1,160 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// This file implements the perf-trend gate: two archived BENCH_*.json
+// reports are joined by benchmark identity and every tracked metric is
+// checked against a per-metric tolerance. CI runs it as
+//
+//	benchjson -diff BENCH_baseline.json BENCH_ci.json \
+//	    -threshold-ns 400 -threshold-allocs 0
+//
+// so a PR that regresses the step hot path beyond tolerance fails before it
+// merges. Time tolerances are generous (CI runners are noisy and differ
+// from the machine that wrote the baseline); allocation tolerances are
+// strict, because allocs/op of the workers-pinned benchmarks is
+// machine-independent.
+
+// ReadJSON parses a report previously rendered by WriteJSON (the BENCH_*.json
+// artifact format).
+func ReadJSON(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: bad JSON report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Thresholds holds the per-metric regression tolerances, each in percent
+// growth over the old value (10 means "new may be up to 10% larger"). A
+// negative tolerance disables that metric's check entirely; zero means any
+// growth at all is a regression (the right setting for allocs/op, which is
+// deterministic for the workers-pinned benchmarks).
+type Thresholds struct {
+	NsPct     float64 // ns/op tolerance
+	AllocsPct float64 // allocs/op tolerance
+	BytesPct  float64 // B/op tolerance
+}
+
+// DefaultThresholds is the CI perf-trend gate configuration: wall-clock may
+// wander a lot across runner generations, allocation counts may not move at
+// all, and B/op gets headroom for pool-growth jitter.
+var DefaultThresholds = Thresholds{NsPct: 400, AllocsPct: 0, BytesPct: 50}
+
+// Delta is one (benchmark, metric) comparison between two reports.
+type Delta struct {
+	// Name identifies the benchmark (Package + Name of the matched results).
+	Name string
+	// Unit is the compared metric ("ns/op", "allocs/op", or "B/op").
+	Unit string
+	// Old and New are the metric values in the two reports.
+	Old, New float64
+	// Pct is the growth in percent: 100*(New-Old)/Old. When Old is zero and
+	// New is positive — e.g. a zero-alloc path that started allocating —
+	// Pct is +Inf, which regresses any finite threshold.
+	Pct float64
+	// Regressed reports whether Pct exceeds the metric's tolerance.
+	Regressed bool
+}
+
+// diffKey joins results across reports. Procs is deliberately excluded: the
+// baseline is refreshed on whatever machine the maintainer has, and a
+// GOMAXPROCS mismatch would otherwise silently empty the comparison.
+type diffKey struct {
+	pkg, name string
+}
+
+// Diff compares every benchmark present in both reports over the three
+// tracked metrics, returning one Delta per (benchmark, metric) pair where
+// both sides recorded the metric, sorted by benchmark then unit. Benchmarks
+// present in only one report are skipped — adding or retiring a benchmark
+// must not fail the gate — as is any metric absent on either side.
+func Diff(old, new *Report, th Thresholds) []Delta {
+	units := []struct {
+		unit string
+		tol  float64
+	}{
+		{"ns/op", th.NsPct},
+		{"allocs/op", th.AllocsPct},
+		{"B/op", th.BytesPct},
+	}
+	baseline := make(map[diffKey]*Result, len(old.Results))
+	for i := range old.Results {
+		r := &old.Results[i]
+		baseline[diffKey{r.Package, r.Name}] = r
+	}
+	var deltas []Delta
+	for i := range new.Results {
+		nr := &new.Results[i]
+		or, ok := baseline[diffKey{nr.Package, nr.Name}]
+		if !ok {
+			continue
+		}
+		label := nr.Name
+		if nr.Package != "" {
+			label = nr.Package + "." + nr.Name
+		}
+		for _, u := range units {
+			if u.tol < 0 {
+				continue
+			}
+			ov, okOld := or.Metric(u.unit)
+			nv, okNew := nr.Metric(u.unit)
+			if !okOld || !okNew {
+				continue
+			}
+			d := Delta{Name: label, Unit: u.unit, Old: ov, New: nv}
+			switch {
+			case ov == 0 && nv > 0:
+				d.Pct = math.Inf(1)
+			case ov == 0:
+				d.Pct = 0
+			default:
+				d.Pct = 100 * (nv - ov) / ov
+			}
+			d.Regressed = d.Pct > u.tol
+			deltas = append(deltas, d)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Name != deltas[j].Name {
+			return deltas[i].Name < deltas[j].Name
+		}
+		return deltas[i].Unit < deltas[j].Unit
+	})
+	return deltas
+}
+
+// Regressions filters a Diff result down to the failing deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteDeltas renders a comparison table for the CI log; regressed rows are
+// flagged with "REGRESSED" so they stand out in a scrollback search.
+func WriteDeltas(w io.Writer, deltas []Delta) error {
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "  REGRESSED"
+		}
+		_, err := fmt.Fprintf(w, "%-70s %-10s %14.6g -> %-14.6g %+8.1f%%%s\n",
+			d.Name, d.Unit, d.Old, d.New, d.Pct, flag)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package benchfmt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func reportFrom(t *testing.T, text string) *Report {
+	t.Helper()
+	rep, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDiffFlagsSyntheticRegression is the gate's own gate: a hand-built pair
+// of reports with a known time regression, a known allocation regression
+// (including zero → nonzero), and an improvement must produce exactly the
+// expected verdicts. If this test passes, the CI perf-trend step demonstrably
+// fails a regressing PR.
+func TestDiffFlagsSyntheticRegression(t *testing.T) {
+	old := reportFrom(t, `pkg: dlrmcomp/internal/dist
+BenchmarkStep_8RanksHybrid 	 5	 7000000 ns/op	 2000000 B/op	 344 allocs/op
+BenchmarkStep_1Rank 	 5	 1000000 ns/op	 100000 B/op	 0 allocs/op
+BenchmarkRetired 	 5	 500 ns/op
+`)
+	cur := reportFrom(t, `pkg: dlrmcomp/internal/dist
+BenchmarkStep_8RanksHybrid 	 5	 42000000 ns/op	 2100000 B/op	 400 allocs/op
+BenchmarkStep_1Rank 	 5	 900000 ns/op	 100000 B/op	 3 allocs/op
+BenchmarkAdded 	 5	 500 ns/op
+`)
+	deltas := Diff(old, cur, DefaultThresholds)
+	// Two matched benchmarks × three metrics; the retired and added
+	// benchmarks must not contribute.
+	if len(deltas) != 6 {
+		t.Fatalf("got %d deltas, want 6: %+v", len(deltas), deltas)
+	}
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Name+"|"+d.Unit] = d
+	}
+	step := "dlrmcomp/internal/dist.BenchmarkStep_8RanksHybrid"
+	if d := byKey[step+"|ns/op"]; !d.Regressed || d.Pct < 499 || d.Pct > 501 {
+		t.Fatalf("6x time regression not flagged: %+v", d)
+	}
+	if d := byKey[step+"|allocs/op"]; !d.Regressed {
+		t.Fatalf("344 -> 400 allocs must regress the 0%% tolerance: %+v", d)
+	}
+	if d := byKey[step+"|B/op"]; d.Regressed {
+		t.Fatalf("+5%% B/op is inside the 50%% tolerance: %+v", d)
+	}
+	oneRank := "dlrmcomp/internal/dist.BenchmarkStep_1Rank"
+	if d := byKey[oneRank+"|ns/op"]; d.Regressed || d.Pct >= 0 {
+		t.Fatalf("improvement flagged as regression: %+v", d)
+	}
+	if d := byKey[oneRank+"|allocs/op"]; !d.Regressed || !math.IsInf(d.Pct, 1) {
+		t.Fatalf("zero -> nonzero allocs must be an infinite-percent regression: %+v", d)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %+v", len(regs), regs)
+	}
+}
+
+func TestDiffThresholdSemantics(t *testing.T) {
+	old := reportFrom(t, "BenchmarkX 1 100 ns/op 10 allocs/op\n")
+	cur := reportFrom(t, "BenchmarkX 1 200 ns/op 10 allocs/op\n")
+
+	// Negative tolerance disables the metric entirely.
+	deltas := Diff(old, cur, Thresholds{NsPct: -1, AllocsPct: 0, BytesPct: -1})
+	if len(deltas) != 1 || deltas[0].Unit != "allocs/op" {
+		t.Fatalf("disabled metrics leaked into the diff: %+v", deltas)
+	}
+
+	// Growth exactly at the tolerance passes; above it fails.
+	at := Diff(old, cur, Thresholds{NsPct: 100, AllocsPct: -1, BytesPct: -1})
+	if len(at) != 1 || at[0].Regressed {
+		t.Fatalf("growth equal to the tolerance must pass: %+v", at)
+	}
+	over := Diff(old, cur, Thresholds{NsPct: 99.9, AllocsPct: -1, BytesPct: -1})
+	if len(over) != 1 || !over[0].Regressed {
+		t.Fatalf("growth above the tolerance must fail: %+v", over)
+	}
+
+	// Unchanged allocations pass a 0% tolerance.
+	same := Diff(old, cur, Thresholds{NsPct: -1, AllocsPct: 0, BytesPct: -1})
+	if len(same) != 1 || same[0].Regressed {
+		t.Fatalf("equal allocs must pass a zero tolerance: %+v", same)
+	}
+}
+
+func TestReadJSONRoundTripsWriteJSON(t *testing.T) {
+	rep := reportFrom(t, sample)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) ||
+		back.Results[1].Metrics["allocs/op"] != 12 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}
+
+func TestWriteDeltasMarksRegressions(t *testing.T) {
+	old := reportFrom(t, "BenchmarkX 1 100 ns/op\nBenchmarkY 1 100 ns/op\n")
+	cur := reportFrom(t, "BenchmarkX 1 5000 ns/op\nBenchmarkY 1 100 ns/op\n")
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, Diff(old, cur, DefaultThresholds)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[0], "REGRESSED") || strings.Contains(lines[1], "REGRESSED") {
+		t.Fatalf("regression flag misplaced:\n%s", buf.String())
+	}
+}

@@ -33,10 +33,12 @@ func TestStepAllocsSteadyState(t *testing.T) {
 	tr, err := NewTrainer(Options{
 		Ranks: 1,
 		Model: testConfig(spec, 8),
-		// One codec worker keeps the fan-out a plain loop, so the count is
-		// machine-independent; worker parity is covered separately.
-		CodecWorkers: 1,
-		CodecFor:     func(int) codec.Codec { return hybrid.New(0.01, hybrid.Auto) },
+		// One codec worker and one compute worker keep every fan-out a plain
+		// loop, so the count is machine-independent; worker parity is covered
+		// separately.
+		CodecWorkers:   1,
+		ComputeWorkers: 1,
+		CodecFor:       func(int) codec.Codec { return hybrid.New(0.01, hybrid.Auto) },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +72,7 @@ func TestStepAllocsIndependentOfBatch(t *testing.T) {
 		t.Skip("alloc pins are meaningless under the race detector (instrumented allocations, dropped pools)")
 	}
 	spec := testSpec()
-	tr, err := NewTrainer(Options{Ranks: 1, Model: testConfig(spec, 4), CodecWorkers: 1})
+	tr, err := NewTrainer(Options{Ranks: 1, Model: testConfig(spec, 4), CodecWorkers: 1, ComputeWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,5 +144,70 @@ func TestCodecWorkersParity(t *testing.T) {
 	accP, llP := par.Evaluate(genP.NextBatch(128))
 	if accS != accP || llS != llP {
 		t.Fatalf("eval differs: sequential (%v, %v), parallel (%v, %v)", accS, llS, accP, llP)
+	}
+}
+
+// TestComputeWorkersParity pins the tentpole determinism invariant: the
+// intra-rank compute width (parallel matmul rows, interaction samples,
+// embedding gathers, optimizer spans) is a pure scheduling knob. Training at
+// widths 1, 2, and 8 must produce bit-identical losses, compression ratio,
+// sim-time buckets, and final evaluation. Runs under -race in CI, which also
+// makes it the data-race canary for the shared tensor worker pool.
+func TestComputeWorkersParity(t *testing.T) {
+	spec := testSpec()
+	mk := func(workers int) *Trainer {
+		tr, err := NewTrainer(Options{
+			Ranks:          4,
+			Model:          testConfig(spec, 8),
+			ComputeWorkers: workers,
+			CodecFor:       func(int) codec.Codec { return hybrid.New(0.01, hybrid.Auto) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	widths := []int{1, 2, 8}
+	trainers := make([]*Trainer, len(widths))
+	gens := make([]*criteo.Generator, len(widths))
+	for i, w := range widths {
+		trainers[i] = mk(w)
+		gens[i] = criteo.NewGenerator(spec)
+	}
+	for step := 0; step < 6; step++ {
+		base, err := trainers[0].Step(gens[0].NextBatch(33)) // uneven shards on purpose
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(widths); i++ {
+			loss, err := trainers[i].Step(gens[i].NextBatch(33))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loss != base {
+				t.Fatalf("step %d: workers=%d loss %v != workers=1 loss %v", step, widths[i], loss, base)
+			}
+		}
+	}
+	baseRatio := trainers[0].CompressionRatio()
+	baseTimes := trainers[0].Cluster().SimTimes()
+	accB, llB := trainers[0].Evaluate(gens[0].NextBatch(128))
+	for i := 1; i < len(widths); i++ {
+		if r := trainers[i].CompressionRatio(); r != baseRatio {
+			t.Fatalf("workers=%d compression ratio %v != %v", widths[i], r, baseRatio)
+		}
+		st := trainers[i].Cluster().SimTimes()
+		if len(st) != len(baseTimes) {
+			t.Fatalf("workers=%d bucket sets differ: %v vs %v", widths[i], st, baseTimes)
+		}
+		for k, v := range baseTimes {
+			if st[k] != v {
+				t.Fatalf("workers=%d bucket %q differs: %v vs %v", widths[i], k, st[k], v)
+			}
+		}
+		acc, ll := trainers[i].Evaluate(gens[i].NextBatch(128))
+		if acc != accB || ll != llB {
+			t.Fatalf("workers=%d eval (%v, %v) != workers=1 (%v, %v)", widths[i], acc, ll, accB, llB)
+		}
 	}
 }

@@ -62,6 +62,15 @@ type Options struct {
 	// goroutines) unless the machine has spare cores per rank; negative
 	// forces the sequential path.
 	CodecWorkers int
+	// ComputeWorkers bounds the intra-rank parallel width for each rank's
+	// compute between the collective barriers: the MLP matmuls, the pairwise
+	// interaction, the local-shard embedding gathers, and the dense
+	// optimizer update all partition their rows across the shared tensor
+	// worker pool at this width. Results are bit-identical at any setting —
+	// the width only changes which goroutine computes a row. 0 picks
+	// clamp(GOMAXPROCS/Ranks, 1, 8) like CodecWorkers; negative forces the
+	// single-threaded path (no pool traffic at all).
+	ComputeWorkers int
 	// Controller, when non-nil, drives per-table per-iteration error bounds
 	// (the dual-level adaptive strategy): before each step, every
 	// error-bounded codec gets SetErrorBound(Controller.EBAt(table, iter)).
@@ -110,11 +119,12 @@ type Trainer struct {
 	// worker budget, and the cached per-sample MAC count for stepFlops —
 	// all built once in NewTrainer so Step allocates only a bounded
 	// handful of objects (goroutine fan-out, collective handles).
-	ws           []*stepWorkspace
-	scr          stepScratch
-	owned        [][]int
-	codecWorkers int
-	stepMacs     float64
+	ws             []*stepWorkspace
+	scr            stepScratch
+	owned          [][]int
+	codecWorkers   int
+	computeWorkers int
+	stepMacs       float64
 
 	// forward all-to-all volume accounting across all steps.
 	fwdRawBytes  int64
@@ -221,8 +231,19 @@ func NewTrainer(opts Options) (*Trainer, error) {
 		}
 	}
 
+	// Resolve the intra-rank compute width before building replicas so every
+	// model layer gets it at construction. Same clamp as the codec pool: one
+	// worker per rank unless the machine has spare cores, capped at 8.
+	t.computeWorkers = opts.ComputeWorkers
+	if t.computeWorkers == 0 {
+		t.computeWorkers = min(max(runtime.GOMAXPROCS(0)/opts.Ranks, 1), 8)
+	}
+	if t.computeWorkers < 0 {
+		t.computeWorkers = 1
+	}
+
 	for r := 0; r < opts.Ranks; r++ {
-		rp := &replica{opt: &nn.SGD{LR: opts.DenseLR}}
+		rp := &replica{opt: &nn.SGD{LR: opts.DenseLR, Workers: t.computeWorkers}}
 		if r == 0 {
 			rp.m = tmpl
 		} else {
@@ -234,6 +255,7 @@ func NewTrainer(opts Options) (*Trainer, error) {
 				Top:      tmpl.Top.Clone(),
 			}
 		}
+		rp.m.SetComputeWorkers(t.computeWorkers)
 		t.replicas = append(t.replicas, rp)
 	}
 	for _, p := range t.replicas[0].m.DenseParams() {

@@ -200,13 +200,13 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 					// The local shard never crosses the wire (and is never
 					// compressed): gather it straight into the lookup slot.
 					ws.lookups[tb] = ws.lookups[tb].Resize(count[dst], dim)
-					tab.LookupInto(ws.lookups[tb], idx)
+					tab.LookupIntoWorkers(ws.lookups[tb], idx, t.computeWorkers)
 					ws.got[tb] = true
 					continue
 				}
 				ws.tblChunk[tb] = ws.tblChunk[tb].Resize(count[dst], dim)
 				chunk := ws.tblChunk[tb]
-				tab.LookupInto(chunk, idx)
+				tab.LookupIntoWorkers(chunk, idx, t.computeWorkers)
 				if c == nil {
 					ws.tblFrame[tb][dst] = appendFrameFloats(buf, tb, chunk.Data)
 					continue

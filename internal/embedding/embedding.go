@@ -52,10 +52,36 @@ func (t *Table) Lookup(indices []int32) *tensor.Matrix {
 
 // LookupInto gathers rows into dst, which must be [len(indices), Dim].
 func (t *Table) LookupInto(dst *tensor.Matrix, indices []int32) {
+	t.LookupIntoWorkers(dst, indices, 1)
+}
+
+// lookupParallelMin is the gathered-element count below which LookupInto
+// stays serial: the copy is pure memory traffic and small gathers lose more
+// to fan-out than they gain.
+const lookupParallelMin = 1 << 14
+
+// LookupIntoWorkers is LookupInto with an explicit row-parallel width
+// (0 = GOMAXPROCS, 1 = serial). Rows of dst are written independently, so the
+// result is identical at any width; gathers below lookupParallelMin elements
+// run serially regardless.
+func (t *Table) LookupIntoWorkers(dst *tensor.Matrix, indices []int32, workers int) {
 	if dst.Rows != len(indices) || dst.Cols != t.Dim {
 		panic("embedding: LookupInto shape mismatch")
 	}
-	for i, idx := range indices {
+	if workers == 1 || len(indices)*t.Dim < lookupParallelMin {
+		t.lookupSpan(dst, indices, 0, len(indices))
+		return
+	}
+	tensor.ParallelSpans(workers, len(indices), func(lo, hi int) {
+		t.lookupSpan(dst, indices, lo, hi)
+	})
+}
+
+// lookupSpan gathers rows [lo, hi). Kept as a plain method so the serial
+// LookupIntoWorkers path stays allocation-free (no escaping closure).
+func (t *Table) lookupSpan(dst *tensor.Matrix, indices []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		idx := indices[i]
 		if idx < 0 || int(idx) >= t.NumRows {
 			panic(fmt.Sprintf("embedding: index %d out of range [0,%d) in table %d", idx, t.NumRows, t.ID))
 		}

@@ -25,8 +25,10 @@ type symCode struct {
 type Encoder struct {
 	freq   map[uint32]uint64
 	codes  map[uint32]symCode
-	syms   []uint32 // distinct symbols, ascending
-	pairs  []uint64 // (len<<32 | sym) keys in canonical order
+	freqD  []uint64  // dense frequency table (small-alphabet fast path)
+	codesD []symCode // dense code table, indexed by symbol
+	syms   []uint32  // distinct symbols, ascending
+	pairs  []uint64  // (len<<32 | sym) keys in canonical order
 	nodes  []node
 	order  []int32 // node-index heap, ordered by (freq, sym)
 	stack  []treeItem
@@ -34,6 +36,13 @@ type Encoder struct {
 	frame  []byte // Huffman-mode candidate frame
 	rawBuf []byte // raw-mode candidate frame
 }
+
+// maxDenseSym bounds the alphabet for the dense-table encoding path: symbols
+// below it use flat slices for frequency counting and code lookup instead of
+// maps (zigzagged quantization codes cluster near zero, so in practice the
+// hybrid codec always qualifies). Larger alphabets take the map path; both
+// produce identical frames.
+const maxDenseSym = 1 << 16
 
 type treeItem struct {
 	idx   int32
@@ -99,9 +108,178 @@ func (e *Encoder) heapPop() int32 {
 // AppendEncode compresses syms and appends the frame to dst, returning the
 // grown buffer. The frame bytes are identical to Encode(syms).
 func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
+	var maxSym uint32
+	for _, s := range syms {
+		if s > maxSym {
+			maxSym = s
+		}
+	}
+	return e.AppendEncodeMax(dst, syms, maxSym)
+}
+
+// AppendEncodeMax is AppendEncode for callers that already know the exact
+// maximum symbol value (the hybrid codec learns it for free while
+// zigzag-transforming quantization codes). maxSym must equal max(syms) — an
+// upper bound is not enough, because it selects the raw-fallback bit width
+// and therefore the frame bytes. Small alphabets take a dense-table path;
+// the frame is byte-identical to AppendEncode either way.
+func (e *Encoder) AppendEncodeMax(dst []byte, syms []uint32, maxSym uint32) []byte {
 	if len(syms) == 0 {
 		return append(dst, modeConst, 0)
 	}
+	if maxSym < maxDenseSym {
+		return e.appendEncodeDense(dst, syms, maxSym)
+	}
+	return e.appendEncodeMap(dst, syms)
+}
+
+// mergeAndAssignLengths runs the (freq, sym)-heap merge over the already
+// pushed leaf nodes and DFS-assigns code lengths, leaving (len<<32|sym) keys
+// in e.pairs. Returns the longest code length.
+func (e *Encoder) mergeAndAssignLengths() (maxLen uint8) {
+	for len(e.order) > 1 {
+		a := e.heapPop()
+		b := e.heapPop()
+		e.nodes = append(e.nodes, node{
+			freq: e.nodes[a].freq + e.nodes[b].freq,
+			sym:  e.nodes[a].sym,
+			left: a, right: b,
+		})
+		e.heapPush(int32(len(e.nodes) - 1))
+	}
+	e.pairs = e.pairs[:0]
+	e.stack = append(e.stack[:0], treeItem{e.order[0], 0})
+	for len(e.stack) > 0 {
+		it := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		nd := e.nodes[it.idx]
+		if nd.left < 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1 // single-symbol tree still needs 1 bit
+			}
+			if d > maxLen {
+				maxLen = d
+			}
+			e.pairs = append(e.pairs, uint64(d)<<32|uint64(nd.sym))
+			continue
+		}
+		e.stack = append(e.stack, treeItem{nd.left, it.depth + 1}, treeItem{nd.right, it.depth + 1})
+	}
+	return maxLen
+}
+
+// uvarintLen is the byte length binary.PutUvarint would write for x.
+func uvarintLen(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
+
+// appendEncodeDense is the small-alphabet encoding path: flat slices replace
+// the frequency and code maps, distinct symbols fall out of the table scan
+// already sorted, and both candidate frame sizes (Huffman vs raw) are
+// computed arithmetically so only the winning frame is ever materialized.
+// The emitted bytes are identical to the map path's.
+func (e *Encoder) appendEncodeDense(dst []byte, syms []uint32, maxSym uint32) []byte {
+	m := int(maxSym) + 1
+	if cap(e.freqD) < m {
+		e.freqD = make([]uint64, m)
+	}
+	freq := e.freqD[:m]
+	clear(freq)
+	for _, s := range syms {
+		freq[s]++
+	}
+
+	numDistinct := 0
+	for _, f := range freq {
+		if f > 0 {
+			numDistinct++
+		}
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	if numDistinct == 1 {
+		dst = append(dst, modeConst)
+		n := binary.PutUvarint(tmp[:], uint64(len(syms)))
+		dst = append(dst, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(syms[0]))
+		return append(dst, tmp[:n]...)
+	}
+
+	// Leaves in ascending symbol order — the table scan yields them sorted.
+	e.nodes = e.nodes[:0]
+	e.order = e.order[:0]
+	for s, f := range freq {
+		if f == 0 {
+			continue
+		}
+		e.nodes = append(e.nodes, node{freq: f, sym: uint32(s), left: -1, right: -1})
+		e.heapPush(int32(len(e.nodes) - 1))
+	}
+	maxLen := e.mergeAndAssignLengths()
+	if maxLen > maxCodeLen {
+		return e.appendRaw(dst, syms)
+	}
+
+	// Canonical assignment over (len, sym)-sorted pairs, into the dense code
+	// table. Stale entries from previous calls are never read: the emit loop
+	// only indexes symbols present in syms, all of which are assigned here.
+	slices.Sort(e.pairs)
+	if cap(e.codesD) < m {
+		e.codesD = make([]symCode, m)
+	}
+	codes := e.codesD[:m]
+	var code uint64
+	var prevLen uint8
+	for _, p := range e.pairs {
+		l := uint8(p >> 32)
+		code <<= (l - prevLen)
+		codes[uint32(p)] = symCode{code: code, len: l}
+		code++
+		prevLen = l
+	}
+
+	// Arithmetic frame sizes. Huffman: header (mode, numDistinct,
+	// (symbol, len)*, numSymbols) plus padded code bits. Raw: mode, width,
+	// numSymbols, padded fixed-width bits. Both match the materialized
+	// frames exactly (BitWriter.Bytes pads to a whole byte), so the
+	// comparison picks the same winner Encode does — without paying for the
+	// loser's bit emission.
+	hufLen := 1 + uvarintLen(uint64(len(e.pairs))) + uvarintLen(uint64(len(syms)))
+	var hufBits uint64
+	for _, p := range e.pairs {
+		hufLen += uvarintLen(uint64(uint32(p))) + 1
+		hufBits += freq[uint32(p)] * uint64(p>>32)
+	}
+	hufLen += int((hufBits + 7) / 8)
+	width := uint(bits.Len32(maxSym))
+	if width == 0 {
+		width = 1
+	}
+	rawLen := 2 + uvarintLen(uint64(len(syms))) + (len(syms)*int(width)+7)/8
+	if rawLen < hufLen {
+		return e.appendRaw(dst, syms)
+	}
+
+	// Emit the Huffman frame straight into dst.
+	dst = append(dst, modeHuffman)
+	n := binary.PutUvarint(tmp[:], uint64(len(e.pairs)))
+	dst = append(dst, tmp[:n]...)
+	for _, p := range e.pairs {
+		n = binary.PutUvarint(tmp[:], uint64(uint32(p)))
+		dst = append(dst, tmp[:n]...)
+		dst = append(dst, uint8(p>>32))
+	}
+	n = binary.PutUvarint(tmp[:], uint64(len(syms)))
+	dst = append(dst, tmp[:n]...)
+	e.w.Reset()
+	for _, s := range syms {
+		sc := codes[s]
+		e.w.WriteBits(sc.code, uint(sc.len))
+	}
+	return append(dst, e.w.Bytes()...)
+}
+
+// appendEncodeMap is the original map-based encoding path, kept for
+// alphabets too wide for the dense tables.
+func (e *Encoder) appendEncodeMap(dst []byte, syms []uint32) []byte {
 	clear(e.freq)
 	for _, s := range syms {
 		e.freq[s]++
@@ -128,36 +306,7 @@ func (e *Encoder) AppendEncode(dst []byte, syms []uint32) []byte {
 		e.nodes = append(e.nodes, node{freq: e.freq[s], sym: s, left: -1, right: -1})
 		e.heapPush(int32(len(e.nodes) - 1))
 	}
-	for len(e.order) > 1 {
-		a := e.heapPop()
-		b := e.heapPop()
-		e.nodes = append(e.nodes, node{
-			freq: e.nodes[a].freq + e.nodes[b].freq,
-			sym:  e.nodes[a].sym,
-			left: a, right: b,
-		})
-		e.heapPush(int32(len(e.nodes) - 1))
-	}
-	e.pairs = e.pairs[:0]
-	e.stack = append(e.stack[:0], treeItem{e.order[0], 0})
-	var maxLen uint8
-	for len(e.stack) > 0 {
-		it := e.stack[len(e.stack)-1]
-		e.stack = e.stack[:len(e.stack)-1]
-		nd := e.nodes[it.idx]
-		if nd.left < 0 {
-			d := it.depth
-			if d == 0 {
-				d = 1 // single-symbol tree still needs 1 bit
-			}
-			if d > maxLen {
-				maxLen = d
-			}
-			e.pairs = append(e.pairs, uint64(d)<<32|uint64(nd.sym))
-			continue
-		}
-		e.stack = append(e.stack, treeItem{nd.left, it.depth + 1}, treeItem{nd.right, it.depth + 1})
-	}
+	maxLen := e.mergeAndAssignLengths()
 	if maxLen > maxCodeLen {
 		return e.appendRaw(dst, syms)
 	}

@@ -86,6 +86,60 @@ func TestDecodeIntoParity(t *testing.T) {
 	}
 }
 
+// TestDensePathParity pins the dense-table encoding path against both the
+// map path and the reference Encode: for any alphabet that qualifies for the
+// dense tables, all three must emit identical bytes — including inputs
+// engineered to sit near the Huffman-vs-raw decision boundary, where the
+// dense path's arithmetic size comparison must pick the same winner the
+// materialize-both comparison does.
+func TestDensePathParity(t *testing.T) {
+	rng := tensor.NewRNG(77)
+	inputs := map[string][]uint32{
+		"skewed":      appendTestInputs()["skewed"],
+		"two-syms":    {0, 1, 0, 0, 1, 0},
+		"near-dense":  {maxDenseSym - 1, 0, 1, maxDenseSym - 1, 2},
+		"raw-wins":    {0, 1, 2, 3, 4, 5, 6, 7}, // uniform tiny input: raw beats Huffman
+		"single-rare": {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 3},
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		fuzz := make([]uint32, n)
+		span := 1 + rng.Intn(64)
+		for i := range fuzz {
+			fuzz[i] = uint32(rng.Intn(span))
+			if rng.Float64() < 0.05 {
+				fuzz[i] = uint32(rng.Intn(maxDenseSym))
+			}
+		}
+		inputs[string(rune('a'+trial%26))+"-fuzz"] = fuzz
+	}
+	enc := NewEncoder()
+	for name, syms := range inputs {
+		var maxSym uint32
+		for _, s := range syms {
+			if s > maxSym {
+				maxSym = s
+			}
+		}
+		if maxSym >= maxDenseSym {
+			t.Fatalf("%s: test input does not qualify for the dense path", name)
+		}
+		ref := Encode(syms)
+		dense := enc.appendEncodeDense(nil, syms, maxSym)
+		if !bytes.Equal(ref, dense) {
+			t.Fatalf("%s: dense path differs from Encode (%d vs %d bytes)", name, len(dense), len(ref))
+		}
+		mapped := enc.appendEncodeMap(nil, syms)
+		if !bytes.Equal(ref, mapped) {
+			t.Fatalf("%s: map path differs from Encode (%d vs %d bytes)", name, len(mapped), len(ref))
+		}
+		viaMax := enc.AppendEncodeMax(nil, syms, maxSym)
+		if !bytes.Equal(ref, viaMax) {
+			t.Fatalf("%s: AppendEncodeMax differs from Encode", name)
+		}
+	}
+}
+
 // TestAppendRoundTripAllocs pins the zero-allocation steady state.
 func TestAppendRoundTripAllocs(t *testing.T) {
 	if testutil.RaceEnabled {

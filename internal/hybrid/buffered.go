@@ -60,11 +60,73 @@ func (ws *workspace) sizedSyms(n int) []uint32 {
 }
 
 // CompressAppend implements codec.BufferedCodec: it appends exactly the
-// frame Compress would return. In Auto mode both sub-encoders still run —
-// the choice needs both sizes — but the loser lives only in a reused
-// candidate buffer instead of a fresh allocation. On error the appended
-// bytes are undefined; callers must discard dst.
+// frame Compress would return. Quantization is fused with the mode's symbol
+// transform — one traversal of src produces the bin codes, the zigzag
+// symbols, and the alphabet bound the entropy coder wants, instead of the
+// quantize-then-zigzag double pass (compressAppendTwoPass keeps the
+// reference shape; parity tests pin the frames byte-for-byte). In Auto mode
+// both sub-encoders still run — the choice needs both sizes — but the loser
+// lives only in a reused candidate buffer instead of a fresh allocation. On
+// error the appended bytes are undefined; callers must discard dst.
 func (c *Codec) CompressAppend(dst []byte, src []float32, dim int) ([]byte, error) {
+	if dim <= 0 || len(src)%dim != 0 {
+		return nil, fmt.Errorf("hybrid: bad shape len=%d dim=%d", len(src), dim)
+	}
+	if c.EB <= 0 {
+		return nil, fmt.Errorf("hybrid: error bound %v must be positive", c.EB)
+	}
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	q := quant.New(c.EB)
+	codes := ws.sizedCodes(len(src))
+
+	base := len(dst)
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:], math.Float32bits(c.EB))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(src)))
+	dst = append(dst, hdr[:]...)
+	payloadStart := len(dst)
+
+	sub := byte(subVLZ)
+	switch c.Mode {
+	case VectorLZ:
+		// Vector-LZ consumes raw bin codes; no symbol pass to fuse with.
+		q.Quantize(codes, src)
+		ws.venc.Window = c.Window
+		var err error
+		dst, err = ws.venc.AppendEncode(dst, codes, dim)
+		if err != nil {
+			return nil, err
+		}
+	case Entropy:
+		syms := ws.sizedSyms(len(src))
+		maxSym := q.QuantizeZigZag(codes, syms, src)
+		dst = ws.henc.AppendEncodeMax(dst, syms, maxSym)
+		sub = subEntropy
+	default: // Auto: pick the smaller frame, ties to vector-LZ as Compress does
+		syms := ws.sizedSyms(len(src))
+		maxSym := q.QuantizeZigZag(codes, syms, src)
+		ws.venc.Window = c.Window
+		var err error
+		dst, err = ws.venc.AppendEncode(dst, codes, dim)
+		if err != nil {
+			return nil, err
+		}
+		ws.alt = ws.henc.AppendEncodeMax(ws.alt[:0], syms, maxSym)
+		if len(ws.alt) < len(dst)-payloadStart {
+			dst = append(dst[:payloadStart], ws.alt...)
+			sub = subEntropy
+		}
+	}
+	dst[base+12] = sub
+	return dst, nil
+}
+
+// compressAppendTwoPass is the pre-fusion shape of CompressAppend — quantize
+// everything first, then zigzag for the entropy coder — kept unexported as
+// the executable reference for the fused path's parity test and benchmark.
+func (c *Codec) compressAppendTwoPass(dst []byte, src []float32, dim int) ([]byte, error) {
 	if dim <= 0 || len(src)%dim != 0 {
 		return nil, fmt.Errorf("hybrid: bad shape len=%d dim=%d", len(src), dim)
 	}
@@ -98,7 +160,7 @@ func (c *Codec) CompressAppend(dst []byte, src []float32, dim int) ([]byte, erro
 		quant.ZigZagInto(syms, codes)
 		dst = ws.henc.AppendEncode(dst, syms)
 		sub = subEntropy
-	default: // Auto: pick the smaller frame, ties to vector-LZ as Compress does
+	default:
 		ws.venc.Window = c.Window
 		var err error
 		dst, err = ws.venc.AppendEncode(dst, codes, dim)

@@ -1,0 +1,99 @@
+package hybrid
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// TestFusedEncodeFrameParity pins the fused quantize+zigzag+entropy encoder
+// against the two-pass reference over the full conformance matrix: every
+// mode, error bound, shape (including single-row and ragged widths), and
+// data distribution (hot-key lookup batches, pure noise, constant blocks,
+// zero blocks, sign-alternating values that stress the zigzag mapping). The
+// frames must be byte-identical — the fusion changes traversal, not output.
+func TestFusedEncodeFrameParity(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	noise := func(n int, std float32) []float32 {
+		v := make([]float32, n)
+		rng.FillNormal(v, 0, std)
+		return v
+	}
+	constant := func(n int, val float32) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = val
+		}
+		return v
+	}
+	alternating := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(1-2*(i%2)) * float32(i%7) * 0.05
+		}
+		return v
+	}
+	cases := []struct {
+		name string
+		src  []float32
+		dim  int
+	}{
+		{"hotkeys256x16", hotKeyBatch(rng, 256, 16, 32, 0.5), 16},
+		{"hotkeys33x7", hotKeyBatch(rng, 33, 7, 8, 0.3), 7},
+		{"noise128x16", noise(128*16, 1), 16},
+		{"noise-wide", noise(64*16, 25), 16}, // wide alphabet, raw-fallback territory
+		{"single-row", noise(16, 0.5), 16},
+		{"constant", constant(64*8, 0.42), 8},
+		{"zeros", constant(64*8, 0), 8},
+		{"alternating", alternating(96 * 12), 12},
+		{"empty", nil, 4},
+	}
+	for _, mode := range []Mode{Auto, VectorLZ, Entropy} {
+		for _, eb := range []float32{0.001, 0.01, 0.1} {
+			for _, tc := range cases {
+				label := fmt.Sprintf("%v/eb=%v/%s", mode, eb, tc.name)
+				c := New(eb, mode)
+				ref, errRef := c.compressAppendTwoPass(nil, tc.src, tc.dim)
+				got, errGot := c.CompressAppend(nil, tc.src, tc.dim)
+				if (errRef == nil) != (errGot == nil) {
+					t.Fatalf("%s: error mismatch: two-pass %v, fused %v", label, errRef, errGot)
+				}
+				if errRef != nil {
+					continue
+				}
+				if !bytes.Equal(ref, got) {
+					t.Fatalf("%s: fused frame differs from two-pass (%d vs %d bytes)", label, len(got), len(ref))
+				}
+			}
+		}
+	}
+}
+
+func benchHybridEncode(b *testing.B, fn func(c *Codec, dst []byte, src []float32, dim int) ([]byte, error)) {
+	b.Helper()
+	c := New(0.01, Auto)
+	src := benchSample(2048, 64)
+	var frame []byte
+	var err error
+	if frame, err = fn(c, frame[:0], src, 64); err != nil { // warm pooled workspaces
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if frame, err = fn(c, frame[:0], src, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridEncode_TwoPass(b *testing.B) {
+	benchHybridEncode(b, (*Codec).compressAppendTwoPass)
+}
+
+func BenchmarkHybridEncode_Fused(b *testing.B) {
+	benchHybridEncode(b, (*Codec).CompressAppend)
+}

@@ -13,9 +13,23 @@ type DotInteraction struct {
 	NumSparse int
 	Dim       int
 
+	// Workers is the sample-parallel width for Forward/Backward
+	// (0 = GOMAXPROCS, 1 = single-threaded). Samples are independent, so
+	// results are bitwise identical at any width; the single-threaded path
+	// performs no allocation.
+	Workers int
+
 	// cached inputs for backward
 	dense  *tensor.Matrix
 	sparse []*tensor.Matrix
+	dOut   *tensor.Matrix
+
+	// featData[k] is the backing slice of feature matrix k (0 = dense), and
+	// gradData[k] the matching gradient slice — read-only span tables built
+	// once per call so the per-sample hot loops index flat arrays instead of
+	// chasing method calls. Layer-owned, reused across calls.
+	featData [][]float32
+	gradData [][]float32
 
 	// Reused output buffers (layer-owned scratch, valid until the next
 	// Forward/Backward — the same contract as nn.Linear).
@@ -36,14 +50,6 @@ func (di *DotInteraction) OutDim() int {
 	return di.Dim + f*(f-1)/2
 }
 
-// feature returns feature vector k of sample i (k = 0 is dense).
-func (di *DotInteraction) feature(k, i int) []float32 {
-	if k == 0 {
-		return di.dense.Row(i)
-	}
-	return di.sparse[k-1].Row(i)
-}
-
 // Forward computes the interaction for a batch. dense is [n, Dim]; each
 // sparse[t] is [n, Dim].
 func (di *DotInteraction) Forward(dense *tensor.Matrix, sparse []*tensor.Matrix) *tensor.Matrix {
@@ -62,21 +68,51 @@ func (di *DotInteraction) Forward(dense *tensor.Matrix, sparse []*tensor.Matrix)
 	di.dense = dense
 	di.sparse = sparse
 
-	di.out = di.out.Resize(n, di.OutDim())
-	out := di.out
 	f := di.NumSparse + 1
-	for i := 0; i < n; i++ {
-		row := out.Row(i)
-		copy(row[:di.Dim], dense.Row(i))
-		pos := di.Dim
+	if cap(di.featData) < f {
+		di.featData = make([][]float32, f)
+	}
+	feats := di.featData[:f]
+	feats[0] = dense.Data
+	for t, s := range sparse {
+		feats[t+1] = s.Data
+	}
+
+	di.out = di.out.Resize(n, di.OutDim())
+	if w := tensor.EffectiveWorkers(di.Workers); w <= 1 {
+		di.forwardSpan(0, n)
+	} else {
+		tensor.ParallelSpans(w, n, func(lo, hi int) { di.forwardSpan(lo, hi) })
+	}
+	return di.out
+}
+
+// forwardSpan computes output rows [lo, hi). Each sample reads only its own
+// slice of every feature matrix and writes only its own output row, so spans
+// are safe to run concurrently and the result is independent of the split.
+func (di *DotInteraction) forwardSpan(lo, hi int) {
+	d, outDim, f := di.Dim, di.OutDim(), di.NumSparse+1
+	feats, out := di.featData[:f], di.out
+	for i := lo; i < hi; i++ {
+		row := out.Data[i*outDim : (i+1)*outDim]
+		off := i * d
+		copy(row[:d], feats[0][off:off+d])
+		pos := d
 		for a := 1; a < f; a++ {
+			va := feats[a][off : off+d]
 			for b := 0; b < a; b++ {
-				row[pos] = tensor.Dot(di.feature(a, i), di.feature(b, i))
+				vb := feats[b][off : off+d]
+				// Inlined dot: single accumulator, ascending p — the exact
+				// tensor.Dot accumulation order.
+				var s float32
+				for p, v := range va {
+					s += v * vb[p]
+				}
+				row[pos] = s
 				pos++
 			}
 		}
 	}
-	return out
 }
 
 // Backward maps dOut back to gradients for the dense input and each sparse
@@ -90,8 +126,9 @@ func (di *DotInteraction) Backward(dOut *tensor.Matrix) (dDense *tensor.Matrix, 
 	if dOut.Rows != n || dOut.Cols != di.OutDim() {
 		panic("interaction: Backward shape mismatch")
 	}
-	// dDense needs no zeroing: the pass-through copy below fully overwrites
-	// each row before any dot gradient accumulates into it.
+	// dDense needs no upfront zeroing: the pass-through copy in backwardSpan
+	// fully overwrites each row before any dot gradient accumulates into it,
+	// and each dSparse row is cleared by the one span that owns its sample.
 	di.dDense = di.dDense.Resize(n, di.Dim)
 	dDense = di.dDense
 	if di.dSparse == nil {
@@ -99,33 +136,62 @@ func (di *DotInteraction) Backward(dOut *tensor.Matrix) (dDense *tensor.Matrix, 
 	}
 	for t := range di.dSparse {
 		di.dSparse[t] = di.dSparse[t].Resize(n, di.Dim)
-		di.dSparse[t].Zero()
 	}
 	dSparse = di.dSparse
-	gradOf := func(k, i int) []float32 {
-		if k == 0 {
-			return dDense.Row(i)
-		}
-		return dSparse[k-1].Row(i)
-	}
+
 	f := di.NumSparse + 1
-	for i := 0; i < n; i++ {
-		row := dOut.Row(i)
-		// Pass-through for the copied dense features.
-		copy(dDense.Row(i), row[:di.Dim])
-		pos := di.Dim
+	if cap(di.gradData) < f {
+		di.gradData = make([][]float32, f)
+	}
+	grads := di.gradData[:f]
+	grads[0] = dDense.Data
+	for t, g := range dSparse {
+		grads[t+1] = g.Data
+	}
+
+	di.dOut = dOut
+	if w := tensor.EffectiveWorkers(di.Workers); w <= 1 {
+		di.backwardSpan(0, n)
+	} else {
+		tensor.ParallelSpans(w, n, func(lo, hi int) { di.backwardSpan(lo, hi) })
+	}
+	return dDense, dSparse
+}
+
+// backwardSpan computes gradient rows for samples [lo, hi) (same isolation
+// argument as forwardSpan: every slice touched is offset by the sample index).
+func (di *DotInteraction) backwardSpan(lo, hi int) {
+	d, outDim, f := di.Dim, di.OutDim(), di.NumSparse+1
+	feats, grads, dOut := di.featData[:f], di.gradData[:f], di.dOut
+	for i := lo; i < hi; i++ {
+		row := dOut.Data[i*outDim : (i+1)*outDim]
+		off := i * d
+		// Pass-through for the copied dense features; clear the sparse
+		// gradient rows this sample owns.
+		copy(grads[0][off:off+d], row[:d])
+		for t := 1; t < f; t++ {
+			clear(grads[t][off : off+d])
+		}
+		pos := d
 		for a := 1; a < f; a++ {
+			va := feats[a][off : off+d]
+			ga := grads[a][off : off+d]
 			for b := 0; b < a; b++ {
 				dz := row[pos]
 				pos++
 				if dz == 0 {
 					continue
 				}
-				va, vb := di.feature(a, i), di.feature(b, i)
-				tensor.Axpy(dz, vb, gradOf(a, i))
-				tensor.Axpy(dz, va, gradOf(b, i))
+				vb := feats[b][off : off+d]
+				gb := grads[b][off : off+d]
+				// Fused pair of axpys. ga and gb are disjoint rows (a != b),
+				// so interleaving the two updates preserves each element's
+				// accumulation order exactly.
+				for p, v := range va {
+					ga[p] += dz * vb[p]
+					gb[p] += dz * v
+				}
 			}
 		}
 	}
-	return dDense, dSparse
 }

@@ -81,6 +81,17 @@ func New(cfg Config) (*DLRM, error) {
 	}, nil
 }
 
+// SetComputeWorkers sets the intra-step parallel width on every compute
+// layer of the model (bottom/top MLP matmuls and the pairwise interaction;
+// 0 = GOMAXPROCS, 1 = single-threaded). Training results are bitwise
+// identical at any width — the width only controls how rows are partitioned
+// across the tensor worker pool.
+func (m *DLRM) SetComputeWorkers(w int) {
+	m.Bottom.SetWorkers(w)
+	m.Top.SetWorkers(w)
+	m.Interact.Workers = w
+}
+
 // ForwardFromLookups runs the model given dense inputs and pre-gathered
 // embedding lookups (one [n, d] matrix per table). This is the entry point
 // the distributed trainer uses: in hybrid-parallel training the lookups

@@ -14,6 +14,12 @@ type Linear struct {
 	W       *tensor.Matrix // [Out, In]
 	B       []float32      // [Out]
 
+	// Workers is the row-parallel width handed to the tensor matmuls
+	// (0 = GOMAXPROCS, 1 = single-threaded). Results are bitwise identical
+	// at any width; small batches stay single-threaded regardless via the
+	// tensor parallel threshold.
+	Workers int
+
 	GradW *tensor.Matrix
 	GradB []float32
 
@@ -53,7 +59,7 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 	}
 	l.x = x
 	l.y = l.y.Resize(x.Rows, l.Out)
-	tensor.MatMulTransB(l.y, x, l.W)
+	tensor.MatMulTransBWorkers(l.Workers, l.y, x, l.W)
 	tensor.AddRowVec(l.y, l.B)
 	return l.y
 }
@@ -67,7 +73,7 @@ func (l *Linear) Backward(dY *tensor.Matrix) *tensor.Matrix {
 	}
 	// GradW += dYᵀ @ x ; GradB += colsums(dY) ; dX = dY @ W
 	l.gw = l.gw.Resize(l.Out, l.In)
-	tensor.MatMulTransA(l.gw, dY, l.x)
+	tensor.MatMulTransAWorkers(l.Workers, l.gw, dY, l.x)
 	tensor.Axpy(1, l.gw.Data, l.GradW.Data)
 	if cap(l.gb) < l.Out {
 		l.gb = make([]float32, l.Out)
@@ -76,7 +82,7 @@ func (l *Linear) Backward(dY *tensor.Matrix) *tensor.Matrix {
 	tensor.ColSums(l.gb, dY)
 	tensor.Axpy(1, l.gb, l.GradB)
 	l.dX = l.dX.Resize(dY.Rows, l.In)
-	tensor.MatMul(l.dX, dY, l.W)
+	tensor.MatMulWorkers(l.Workers, l.dX, dY, l.W)
 	return l.dX
 }
 
@@ -101,11 +107,12 @@ func (l *Linear) Params() []Param {
 // from bit-identical parameters.
 func (l *Linear) Clone() *Linear {
 	return &Linear{
-		In:    l.In,
-		Out:   l.Out,
-		W:     l.W.Clone(),
-		B:     append([]float32(nil), l.B...),
-		GradW: tensor.NewMatrix(l.Out, l.In),
-		GradB: make([]float32, l.Out),
+		In:      l.In,
+		Out:     l.Out,
+		W:       l.W.Clone(),
+		B:       append([]float32(nil), l.B...),
+		Workers: l.Workers,
+		GradW:   tensor.NewMatrix(l.Out, l.In),
+		GradB:   make([]float32, l.Out),
 	}
 }

@@ -112,6 +112,14 @@ func (m *MLP) Forward(x *tensor.Matrix) *tensor.Matrix {
 	return h
 }
 
+// SetWorkers sets the row-parallel width on every layer (see Linear.Workers).
+// Results are bitwise identical at any width.
+func (m *MLP) SetWorkers(w int) {
+	for _, l := range m.Layers {
+		l.Workers = w
+	}
+}
+
 // Backward propagates dY through the stack and returns dX.
 func (m *MLP) Backward(dY *tensor.Matrix) *tensor.Matrix {
 	d := dY

@@ -31,6 +31,28 @@ func (q Quantizer) Quantize(dst []int32, src []float32) {
 	}
 }
 
+// QuantizeZigZag fuses Quantize and ZigZagInto into one pass over src:
+// codes[i] gets the bin code, syms[i] its zigzag symbol, and the returned
+// value is the maximum symbol (0 for empty input). The outputs are exactly
+// what the two separate passes produce; fusing only saves the second
+// traversal and hands the caller the alphabet bound for free.
+func (q Quantizer) QuantizeZigZag(codes []int32, syms []uint32, src []float32) (maxSym uint32) {
+	if len(codes) != len(src) || len(syms) != len(src) {
+		panic("quant: QuantizeZigZag length mismatch")
+	}
+	step := 2 * float64(q.ErrorBound)
+	for i, v := range src {
+		c := int32(math.Round(float64(v) / step))
+		codes[i] = c
+		s := uint32((c << 1) ^ (c >> 31))
+		syms[i] = s
+		if s > maxSym {
+			maxSym = s
+		}
+	}
+	return maxSym
+}
+
 // Dequantize reconstructs values from bin codes.
 func (q Quantizer) Dequantize(dst []float32, codes []int32) {
 	if len(dst) != len(codes) {

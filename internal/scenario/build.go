@@ -121,6 +121,7 @@ func (s Spec) Build() (*Built, error) {
 		Algo:               algo,
 		OtherComputeFactor: rs.OtherComputeFactor,
 		CodecWorkers:       rs.CodecWorkers,
+		ComputeWorkers:     rs.ComputeWorkers,
 	}
 	if rs.Device == "paper" {
 		opts.Device = netmodel.PaperDevice()

@@ -27,6 +27,7 @@ func fullSpec() Spec {
 		Codec:              "hybrid",
 		ErrorBound:         0.02,
 		CodecWorkers:       2,
+		ComputeWorkers:     4,
 		Adaptive:           true,
 		Classes:            "offline",
 		Schedule:           "stepwise",
@@ -64,6 +65,8 @@ func TestValidate(t *testing.T) {
 		{"unknown classes", Spec{Classes: "manual"}, []string{"unknown classes"}},
 		{"negative steps", Spec{Steps: -1}, []string{"steps must be >= 0"}},
 		{"negative eb", Spec{ErrorBound: -0.1}, []string{"eb must be >= 0"}},
+		{"negative compute workers", Spec{ComputeWorkers: -1}, []string{"compute_workers must be >= 0"}},
+		{"pinned compute workers", Spec{ComputeWorkers: 8}, nil},
 		{"fractional decay factor", Spec{DecayFactor: 0.5}, []string{"decay_factor"}},
 		{
 			"ranks inconsistent with nodes (the old silent override)",

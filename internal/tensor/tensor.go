@@ -3,8 +3,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -90,114 +88,64 @@ func (m *Matrix) Equal(n *Matrix, tol float32) bool {
 // stays single-threaded.
 const parallelThreshold = 1 << 17
 
-// parallelRows splits [0, rows) into contiguous spans and runs fn on each
-// span concurrently.
-func parallelRows(rows int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // MatMul computes dst = a @ b where a is m×k and b is k×n. dst must be m×n
 // and is overwritten. Panics on shape mismatch.
-func MatMul(dst, a, b *Matrix) {
+func MatMul(dst, a, b *Matrix) { MatMulWorkers(0, dst, a, b) }
+
+// MatMulWorkers is MatMul with an explicit row-parallel width: 0 means
+// GOMAXPROCS (MatMul's behavior), 1 forces single-threaded. Products below
+// parallelThreshold stay single-threaded at any width, so small matmuls
+// never pay fan-out overhead (or allocate). Results are bitwise identical
+// at every width and tile boundary: rows are independent, and the blocked
+// kernel preserves the naive per-element accumulation order.
+func MatMulWorkers(workers int, dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d @ %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := range di {
-				di[j] = 0
-			}
-			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := b.Data[p*b.Cols : (p+1)*b.Cols]
-				for j, bv := range bp {
-					di[j] += av * bv
-				}
-			}
-		}
+	if workers = EffectiveWorkers(workers); workers <= 1 || a.Rows*a.Cols*b.Cols < parallelThreshold {
+		matMulBlocked(dst, a, b, 0, a.Rows)
+		return
 	}
-	if a.Rows*a.Cols*b.Cols < parallelThreshold {
-		body(0, a.Rows)
-	} else {
-		parallelRows(a.Rows, body)
-	}
+	ParallelSpans(workers, a.Rows, func(lo, hi int) { matMulBlocked(dst, a, b, lo, hi) })
 }
 
 // MatMulTransB computes dst = a @ bᵀ where a is m×k and b is n×k.
 // dst must be m×n. This is the shape used by the backward pass for inputs.
-func MatMulTransB(dst, a, b *Matrix) {
+func MatMulTransB(dst, a, b *Matrix) { MatMulTransBWorkers(0, dst, a, b) }
+
+// MatMulTransBWorkers is MatMulTransB with an explicit row-parallel width
+// (same contract as MatMulWorkers).
+func MatMulTransBWorkers(workers int, dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shapes %dx%d @ (%dx%d)T -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := 0; j < b.Rows; j++ {
-				bj := b.Data[j*b.Cols : (j+1)*b.Cols]
-				var s float32
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				di[j] = s
-			}
-		}
+	if workers = EffectiveWorkers(workers); workers <= 1 || a.Rows*a.Cols*b.Rows < parallelThreshold {
+		matMulTransBBlocked(dst, a, b, 0, a.Rows)
+		return
 	}
-	if a.Rows*a.Cols*b.Rows < parallelThreshold {
-		body(0, a.Rows)
-	} else {
-		parallelRows(a.Rows, body)
-	}
+	ParallelSpans(workers, a.Rows, func(lo, hi int) { matMulTransBBlocked(dst, a, b, lo, hi) })
 }
 
 // MatMulTransA computes dst = aᵀ @ b where a is k×m and b is k×n.
 // dst must be m×n. This is the shape used by the backward pass for weights.
-func MatMulTransA(dst, a, b *Matrix) {
+func MatMulTransA(dst, a, b *Matrix) { MatMulTransAWorkers(0, dst, a, b) }
+
+// MatMulTransAWorkers is MatMulTransA with an explicit row-parallel width
+// over the output rows (same contract as MatMulWorkers). The historical
+// MatMulTransA was single-threaded; parallelism over output rows is safe
+// because the blocked kernel writes each dst row from exactly one span.
+func MatMulTransAWorkers(workers int, dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA shapes (%dx%d)T @ %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
-	for p := 0; p < a.Rows; p++ {
-		ap := a.Data[p*a.Cols : (p+1)*a.Cols]
-		bp := b.Data[p*b.Cols : (p+1)*b.Cols]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range bp {
-				di[j] += av * bv
-			}
-		}
+	if workers = EffectiveWorkers(workers); workers <= 1 || a.Rows*a.Cols*b.Cols < parallelThreshold {
+		matMulTransABlocked(dst, a, b, 0, a.Cols)
+		return
 	}
+	ParallelSpans(workers, a.Cols, func(lo, hi int) { matMulTransABlocked(dst, a, b, lo, hi) })
 }
 
 // AddRowVec adds vector v (len == m.Cols) to every row of m in place.
