@@ -31,6 +31,8 @@ package dlrmcomp
 
 import (
 	"dlrmcomp/internal/adapt"
+	"dlrmcomp/internal/cluster"
+	"dlrmcomp/internal/cluster/tcptransport"
 	"dlrmcomp/internal/codec"
 	"dlrmcomp/internal/criteo"
 	"dlrmcomp/internal/cuszlike"
@@ -199,6 +201,16 @@ type (
 	// for one link serialize. Trainer.RunPipelined uses one internally;
 	// it is exported for custom schedule studies.
 	Timeline = netmodel.Timeline
+	// Transport moves bytes between ranks. By default NewTrainer runs every
+	// rank in one process over the in-process fabric; setting
+	// TrainerOptions.Transport to a DialTCPTransport endpoint instead runs
+	// this process as one rank of a multi-process group. The transport
+	// conformance suite pins both backends to bit-identical losses and
+	// sim-time buckets.
+	Transport = cluster.Transport
+	// TCPTransportOptions configures one rank's endpoint of the TCP
+	// backend: rank, world size, and rank 0's rendezvous address.
+	TCPTransportOptions = tcptransport.Options
 )
 
 // NewTimeline returns an empty per-link occupancy timeline.
@@ -209,6 +221,13 @@ func NewModel(cfg ModelConfig) (*DLRM, error) { return model.New(cfg) }
 
 // NewTrainer builds the distributed trainer.
 func NewTrainer(opts TrainerOptions) (*Trainer, error) { return dist.NewTrainer(opts) }
+
+// DialTCPTransport performs the TCP rendezvous for one rank and returns its
+// connected endpoint. Rank 0 listens at Options.Addr; every other rank dials
+// it and the group exchanges a session-stamped address book before pairwise
+// connections come up. The endpoint plugs into TrainerOptions.Transport;
+// cmd/dlrmworker is the ready-made per-rank worker process built on it.
+func DialTCPTransport(o TCPTransportOptions) (Transport, error) { return tcptransport.Dial(o) }
 
 // KaggleSpec returns the Criteo-Kaggle-like dataset spec.
 func KaggleSpec() DatasetSpec { return criteo.KaggleSpec() }

@@ -8,22 +8,26 @@ import (
 
 // This file implements the nonblocking collectives behind the comm/compute
 // overlap engine. In the simulation the data movement of a collective is
-// eager — IAllToAllV and IAllReduceSum run the same barriers and
-// shared-memory routing as their synchronous counterparts before returning,
-// so the payloads are already delivered when the handle comes back. What
-// the handle defers is simulated time: the collective's cost is captured at
-// issue and charged to its accounting bucket only at Await. That split is
-// exactly what an overlap scheduler needs — it can place the wire time of
-// an in-flight transfer on a link-occupancy timeline while modelled compute
-// proceeds, then Await at the simulated completion point.
+// eager — IAllToAllV and IAllReduceSum run the same transport protocol as
+// their synchronous counterparts before returning, so the payloads are
+// already delivered when the handle comes back. What the handle defers is
+// simulated time: the collective's cost is captured at issue and charged to
+// its accounting bucket only at Await. That split is exactly what an
+// overlap scheduler needs — it can place the wire time of an in-flight
+// transfer on a link-occupancy timeline while modelled compute proceeds,
+// then Await at the simulated completion point.
 //
 // Because delivery is eager, Await calls are order-independent: two
 // collectives may be issued back to back and awaited in either order (each
-// collective's final barrier protects its reads before the next one reuses
-// the mailboxes). Every rank of a collective must issue it — the barriers
-// inside are fleet-wide — and each rank must eventually Await its own
-// handle exactly as it would call the synchronous collective, or the
+// all-to-all's trailing barrier protects its reads before the next one
+// reuses send buffers). Every rank of a collective must issue it — the
+// protocol inside is fleet-wide — and each rank must eventually Await its
+// own handle exactly as it would call the synchronous collective, or the
 // collective's time silently never lands in a bucket.
+//
+// A transport failure at issue time is captured in the handle and returned
+// from Await, mirroring how a real nonblocking collective surfaces
+// connection errors at completion.
 
 // PendingAllToAll is an in-flight nonblocking all-to-all issued by one
 // rank. The payloads are already delivered (delivery is eager; only the
@@ -35,6 +39,7 @@ type PendingAllToAll struct {
 	label   string
 	recv    [][]byte
 	cost    netmodel.LinkCost // nonzero on rank 0 only
+	err     error
 	awaited bool
 }
 
@@ -43,23 +48,24 @@ type PendingAllToAll struct {
 // the returned handle instead of charged immediately. Every rank of the
 // collective must call it (and later Await), like any collective.
 func (r *Rank) IAllToAllV(send [][]byte, variable bool, label string, algo A2AAlgo) *PendingAllToAll {
-	recv, cost := r.exchange(send, variable, algo)
-	return &PendingAllToAll{c: r.c, rank: r.ID, label: label, recv: recv, cost: cost}
+	recv, cost, err := r.exchange(send, variable, algo)
+	return &PendingAllToAll{c: r.c, rank: r.ID, label: label, recv: recv, cost: cost, err: err}
 }
 
 // Await completes the collective from this rank's point of view: it returns
 // the received buffers and, on the first call from rank 0, charges the
 // collective's simulated cost to its bucket (split per link under a
-// multi-node topology). Await is idempotent; later calls return the same
-// buffers without charging again.
-func (p *PendingAllToAll) Await() [][]byte {
+// multi-node topology). A failed collective returns its transport error and
+// charges nothing. Await is idempotent; later calls return the same result
+// without charging again.
+func (p *PendingAllToAll) Await() ([][]byte, error) {
 	if !p.awaited {
 		p.awaited = true
-		if p.rank == 0 {
+		if p.err == nil && p.rank == 0 {
 			p.c.chargeA2A(p.label, p.cost)
 		}
 	}
-	return p.recv
+	return p.recv, p.err
 }
 
 // Cost reports the collective's simulated cost (metadata included when the
@@ -79,6 +85,7 @@ type PendingAllReduce struct {
 	rank    int
 	label   string
 	cost    time.Duration // nonzero on rank 0 only
+	err     error
 	awaited bool
 }
 
@@ -88,19 +95,20 @@ type PendingAllReduce struct {
 // must call it with the same-length slice, like the synchronous
 // AllReduceSum.
 func (r *Rank) IAllReduceSum(x []float32, label string) *PendingAllReduce {
-	cost := r.reduce(x)
-	return &PendingAllReduce{c: r.c, rank: r.ID, label: label, cost: cost}
+	cost, err := r.reduce(x)
+	return &PendingAllReduce{c: r.c, rank: r.ID, label: label, cost: cost, err: err}
 }
 
 // Await charges the allreduce's simulated cost on the first call from
-// rank 0. Idempotent.
-func (p *PendingAllReduce) Await() {
+// rank 0 and reports the collective's error, if any. Idempotent.
+func (p *PendingAllReduce) Await() error {
 	if !p.awaited {
 		p.awaited = true
-		if p.rank == 0 {
+		if p.err == nil && p.rank == 0 {
 			p.c.AddSimTime(p.label, p.cost)
 		}
 	}
+	return p.err
 }
 
 // Cost reports the allreduce's simulated duration (rank 0's handle only;

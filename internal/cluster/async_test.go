@@ -33,8 +33,12 @@ func TestAsyncAllToAllDeliveryMatchesSync(t *testing.T) {
 			opA := r.IAllToAllV(mk("a"), false, "a2a-a", algo)
 			opB := r.IAllToAllV(mk("b"), true, "a2a-b", algo)
 			// Await out of issue order.
-			recvB := opB.Await()
-			recvA := opA.Await()
+			recvB, errB := opB.Await()
+			recvA, errA := opA.Await()
+			if errA != nil || errB != nil {
+				t.Errorf("algo %v rank %d: await errors %v / %v", algo, r.ID, errA, errB)
+				return
+			}
 			for from := 0; from < r.N(); from++ {
 				if want := payload("a", from, r.ID); !bytes.Equal(recvA[from], want) {
 					t.Errorf("algo %v rank %d: op A recv[%d] = %q, want %q", algo, r.ID, from, recvA[from], want)
@@ -84,11 +88,15 @@ func TestAsyncAwaitIdempotent(t *testing.T) {
 			send[to] = payload("x", r.ID, to)
 		}
 		op := r.IAllToAllV(send, false, "idem", A2ADirect)
-		first := op.Await()
+		first, err := op.Await()
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID, err)
+			return
+		}
 		if !op.Awaited() {
 			t.Errorf("rank %d: handle not marked awaited", r.ID)
 		}
-		again := op.Await()
+		again, _ := op.Await()
 		for from := range first {
 			if !bytes.Equal(first[from], again[from]) {
 				t.Errorf("rank %d: second Await returned different payload from %d", r.ID, from)
@@ -192,17 +200,30 @@ func TestAsyncManyInFlightUnderRace(t *testing.T) {
 			buf := []float32{float32(r.ID)}
 			ar := r.IAllReduceSum(buf, "r")
 			b := r.IAllToAllV(mk("q"), false, "q", A2ADirect)
-			for from, got := range b.Await() {
+			recvQ, err := b.Await()
+			if err != nil {
+				t.Errorf("step %d rank %d: q await: %v", step, r.ID, err)
+				return
+			}
+			for from, got := range recvQ {
 				if want := payload(fmt.Sprintf("q%d", step), from, r.ID); !bytes.Equal(got, want) {
 					t.Errorf("step %d rank %d: q recv[%d] = %q, want %q", step, r.ID, from, got, want)
 				}
 			}
-			for from, got := range a.Await() {
+			recvP, err := a.Await()
+			if err != nil {
+				t.Errorf("step %d rank %d: p await: %v", step, r.ID, err)
+				return
+			}
+			for from, got := range recvP {
 				if want := payload(fmt.Sprintf("p%d", step), from, r.ID); !bytes.Equal(got, want) {
 					t.Errorf("step %d rank %d: p recv[%d] = %q, want %q", step, r.ID, from, got, want)
 				}
 			}
-			ar.Await()
+			if err := ar.Await(); err != nil {
+				t.Errorf("step %d rank %d: allreduce: %v", step, r.ID, err)
+				return
+			}
 			if buf[0] != 28 {
 				t.Errorf("step %d rank %d: allreduce sum %v, want 28", step, r.ID, buf[0])
 			}

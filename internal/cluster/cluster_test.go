@@ -71,7 +71,11 @@ func TestAllToAllDelivery(t *testing.T) {
 		for to := 0; to < n; to++ {
 			send[to] = []byte(fmt.Sprintf("from%d-to%d", r.ID, to))
 		}
-		recv := r.AllToAll(send, false, "a2a")
+		recv, err := r.AllToAll(send, false, "a2a")
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID, err)
+			return
+		}
 		for from := 0; from < n; from++ {
 			want := fmt.Sprintf("from%d-to%d", from, r.ID)
 			if string(recv[from]) != want {
@@ -90,7 +94,11 @@ func TestAllToAllRepeated(t *testing.T) {
 			for to := 0; to < n; to++ {
 				send[to] = []byte{byte(r.ID), byte(to), byte(round)}
 			}
-			recv := r.AllToAll(send, false, "a2a")
+			recv, err := r.AllToAll(send, false, "a2a")
+			if err != nil {
+				t.Errorf("round %d rank %d: %v", round, r.ID, err)
+				return
+			}
 			for from := 0; from < n; from++ {
 				if recv[from][0] != byte(from) || recv[from][1] != byte(r.ID) || recv[from][2] != byte(round) {
 					t.Errorf("round %d rank %d bad payload from %d", round, r.ID, from)

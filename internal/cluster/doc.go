@@ -1,10 +1,10 @@
-// Package cluster provides the simulated multi-GPU runtime that stands in
-// for the paper's NCCL process group: N ranks run as goroutines, exchange
-// real data through shared-memory collectives, and every collective charges
-// simulated wall time to a labelled accounting bucket via a pluggable
-// netmodel.Topology. Training math executed on top of this runtime is real
-// — only the clock is modelled — so accuracy experiments and timing
-// experiments share one code path.
+// Package cluster provides the multi-GPU runtime that stands in for the
+// paper's NCCL process group: N ranks exchange real data through
+// collectives built on a pluggable point-to-point Transport, and every
+// collective charges simulated wall time to a labelled accounting bucket
+// via a pluggable netmodel.Topology. Training math executed on top of
+// this runtime is real — only the clock is modelled — so accuracy
+// experiments and timing experiments share one code path.
 //
 // Layer: between internal/netmodel (which prices traffic) and
 // internal/dist (which runs hybrid-parallel training on top of the
@@ -12,8 +12,19 @@
 //
 // Key types:
 //
-//   - Cluster — the process group: rank/node layout, mailboxes, the
-//     sim-time bucket table (SimTime/SimTimes/AddSimTime/ResetSimTime).
+//   - Transport — the point-to-point substrate a Cluster's collectives
+//     run over: per-rank endpoints with FIFO Send/Recv per directed pair
+//     plus a group Barrier. NewInprocFabric returns the reference
+//     implementation (all ranks in one process, goroutines and channels,
+//     zero-copy delivery); internal/cluster/tcptransport provides a real
+//     multi-process backend over loopback/network sockets. Collectives,
+//     costs, and results are bit-identical across transports — the
+//     conformance suite in this package and internal/dist enforces it.
+//   - Cluster — the process group: rank/node layout, the endpoints this
+//     process hosts, the sim-time bucket table
+//     (SimTime/SimTimes/AddSimTime/ResetSimTime). New builds a fully
+//     in-process group; NewOverTransport wraps one external endpoint so
+//     each OS process hosts a single rank.
 //   - Rank — one simulated device's handle, passed to the function given
 //     to Cluster.Run. Collectives hang off it.
 //   - A2AAlgo — per-collective all-to-all algorithm choice: A2ADirect
@@ -34,12 +45,21 @@
 //
 // Determinism: the allreduce reduces rank contributions in rank order
 // (not arrival order), so training on this runtime is bitwise
-// reproducible regardless of goroutine scheduling — the property the
-// synchronous-vs-pipelined parity tests in internal/dist rely on.
+// reproducible regardless of goroutine scheduling or transport — the
+// property the synchronous-vs-pipelined parity tests in internal/dist
+// and the transport conformance suite rely on.
+//
+// Failure semantics: collectives return errors, not panics. A transport
+// that loses a peer (connection close, process exit) poisons in-flight
+// and subsequent Send/Recv/Barrier calls with a descriptive error, which
+// the collectives propagate to their callers — a dying peer surfaces as
+// a prompt error on every surviving rank, never a deadlock.
 //
 // Sim-time buckets: each collective charges the label passed by its
 // caller (the trainer uses "fwd-a2a", "bwd-a2a", "allreduce"). Under a
 // topology spanning multiple nodes, all-to-all time splits into
 // "<label>-intra" / "<label>-inter" per link class; flat and single-node
-// clusters keep the single "<label>" bucket.
+// clusters keep the single "<label>" bucket. Sim time is modelled cost,
+// independent of wall-clock transport speed: a TCP-backed run charges
+// exactly the buckets the in-process run charges.
 package cluster

@@ -1,0 +1,337 @@
+package tcptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Post-handshake frame kinds. Every frame is
+// kind byte | payload length uint32 LE | payload.
+const (
+	kData           = 1 // a Send payload, delivered to the per-source inbox
+	kBarrierArrive  = 2 // worker -> rank 0: entered the barrier
+	kBarrierRelease = 3 // rank 0 -> worker: all ranks arrived, proceed
+	kCloseNotify    = 4 // sender is leaving the group gracefully
+
+	frameHeaderBytes = 5
+)
+
+// endpoint is one rank's live connection set, implementing
+// cluster.Transport. One reader goroutine per peer connection demuxes
+// frames into per-source inboxes and barrier channels; Send, Recv,
+// Barrier, and Close run on the owning rank's goroutine, so each
+// connection has a single writer and no write lock.
+//
+// Failure model: the first connection-level error (EOF, short read,
+// oversized or unknown frame, a peer's close notify) poisons the
+// endpoint — the error is published, every connection is closed (which
+// surfaces at each peer as EOF and cascades the teardown group-wide),
+// inboxes are marked dead, and every blocked or future call returns the
+// error. Messages that arrived before the poison stay drainable.
+type endpoint struct {
+	opts  Options
+	rank  int
+	world int
+	conns []net.Conn // by peer rank; conns[rank] is nil
+
+	inboxes []*inbox // by source rank; inboxes[rank] is the self-send loop
+
+	arrive  chan int      // rank 0: one token per peer arrival (cap world: ≤1 outstanding per peer)
+	release chan struct{} // workers: rank 0's release for the barrier in flight
+
+	mu       sync.Mutex
+	perr     error
+	poisoned chan struct{} // closed on first poison
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newEndpoint(o Options, conns []net.Conn) *endpoint {
+	e := &endpoint{
+		opts:     o,
+		rank:     o.Rank,
+		world:    o.World,
+		conns:    conns,
+		inboxes:  make([]*inbox, o.World),
+		arrive:   make(chan int, o.World),
+		release:  make(chan struct{}, 1),
+		poisoned: make(chan struct{}),
+	}
+	for r := range e.inboxes {
+		e.inboxes[r] = newInbox()
+	}
+	for r, c := range conns {
+		if c == nil {
+			continue
+		}
+		c.SetDeadline(time.Time{}) // handshake deadlines end here
+		e.wg.Add(1)
+		go e.readLoop(r, c)
+	}
+	return e
+}
+
+func (e *endpoint) Rank() int  { return e.rank }
+func (e *endpoint) World() int { return e.world }
+
+func (e *endpoint) Send(to int, buf []byte) error {
+	if to < 0 || to >= e.world {
+		return fmt.Errorf("tcptransport: send to rank %d outside world of %d", to, e.world)
+	}
+	if int64(len(buf)) > e.opts.MaxFrameBytes {
+		return fmt.Errorf("tcptransport: rank %d: %d-byte frame to rank %d exceeds the %d-byte limit", e.rank, len(buf), to, e.opts.MaxFrameBytes)
+	}
+	if err := e.errIfPoisoned(); err != nil {
+		return err
+	}
+	if to == e.rank {
+		// Wire sends copy (the kernel has the bytes before Send returns),
+		// so the loopback copies too: a self-sent buffer is immediately
+		// reusable either way.
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		e.inboxes[to].push(cp)
+		return nil
+	}
+	if err := e.writeFrame(to, kData, buf); err != nil {
+		e.poison(fmt.Errorf("tcptransport: rank %d send to rank %d: %w", e.rank, to, err))
+		return e.err()
+	}
+	return nil
+}
+
+func (e *endpoint) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= e.world {
+		return nil, fmt.Errorf("tcptransport: recv from rank %d outside world of %d", from, e.world)
+	}
+	return e.inboxes[from].pop(e)
+}
+
+// Barrier is a star through rank 0: workers post an arrive frame and
+// block on the release; rank 0 collects world-1 arrivals, then releases
+// everyone. Per-pair FIFO means a worker's release cannot overtake data
+// rank 0 sent before it, and cap-1 release buffering suffices because a
+// worker cannot enter the next barrier before consuming this release.
+func (e *endpoint) Barrier() error {
+	if err := e.errIfPoisoned(); err != nil {
+		return err
+	}
+	if e.world == 1 {
+		return nil
+	}
+	if e.rank == 0 {
+		for i := 0; i < e.world-1; i++ {
+			select {
+			case <-e.arrive:
+			case <-e.poisoned:
+				return e.err()
+			}
+		}
+		for r := 1; r < e.world; r++ {
+			if err := e.writeFrame(r, kBarrierRelease, nil); err != nil {
+				e.poison(fmt.Errorf("tcptransport: rank 0 barrier release to rank %d: %w", r, err))
+				return e.err()
+			}
+		}
+		return nil
+	}
+	if err := e.writeFrame(0, kBarrierArrive, nil); err != nil {
+		e.poison(fmt.Errorf("tcptransport: rank %d barrier arrive: %w", e.rank, err))
+		return e.err()
+	}
+	select {
+	case <-e.release:
+		return nil
+	case <-e.poisoned:
+		return e.err()
+	}
+}
+
+// Close leaves the group gracefully: notify every peer under a bounded
+// write deadline, then poison locally (closing the connections) and join
+// the readers. Peers observe the notify — or the EOF right behind it —
+// and poison themselves; data they already received stays drainable.
+func (e *endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		deadline := time.Now().Add(e.opts.CloseTimeout)
+		for r, c := range e.conns {
+			if c == nil {
+				continue
+			}
+			c.SetWriteDeadline(deadline)
+			_ = e.writeFrame(r, kCloseNotify, nil)
+		}
+		e.poison(fmt.Errorf("tcptransport: rank %d endpoint closed", e.rank))
+		e.wg.Wait()
+	})
+	return nil
+}
+
+// writeFrame writes one frame to peer to. Callers run on the owning
+// rank's goroutine, so writes to a connection never interleave.
+func (e *endpoint) writeFrame(to int, kind byte, payload []byte) error {
+	var hdr [frameHeaderBytes]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	c := e.conns[to]
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := c.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readLoop demuxes frames from one peer until the connection dies or the
+// endpoint is poisoned. Inbox pushes never block, so a slow local Recv
+// cannot stall the wire; the barrier channels are sized so a post only
+// blocks when the owning goroutine is gone, in which case the poisoned
+// select arm frees the reader.
+func (e *endpoint) readLoop(from int, c net.Conn) {
+	defer e.wg.Done()
+	var hdr [frameHeaderBytes]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			e.poison(fmt.Errorf("tcptransport: rank %d lost the connection to rank %d: %w", e.rank, from, err))
+			return
+		}
+		kind := hdr[0]
+		n := int64(binary.LittleEndian.Uint32(hdr[1:]))
+		if n > e.opts.MaxFrameBytes {
+			e.poison(fmt.Errorf("tcptransport: rank %d: %d-byte frame from rank %d exceeds the %d-byte limit", e.rank, n, from, e.opts.MaxFrameBytes))
+			return
+		}
+		payload := []byte{}
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(c, payload); err != nil {
+				e.poison(fmt.Errorf("tcptransport: rank %d truncated frame from rank %d: %w", e.rank, from, err))
+				return
+			}
+		}
+		switch kind {
+		case kData:
+			e.inboxes[from].push(payload)
+		case kBarrierArrive:
+			select {
+			case e.arrive <- from:
+			case <-e.poisoned:
+				return
+			}
+		case kBarrierRelease:
+			select {
+			case e.release <- struct{}{}:
+			case <-e.poisoned:
+				return
+			}
+		case kCloseNotify:
+			e.poison(fmt.Errorf("tcptransport: rank %d closed the group", from))
+			return
+		default:
+			e.poison(fmt.Errorf("tcptransport: rank %d: unknown frame kind %d from rank %d", e.rank, kind, from))
+			return
+		}
+	}
+}
+
+// poison publishes the endpoint's terminal error exactly once, closes
+// every connection (cascading the failure to peers as EOF), and wakes
+// every blocked Recv and Barrier. Safe from any goroutine.
+func (e *endpoint) poison(err error) {
+	e.mu.Lock()
+	if e.perr != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.perr = err
+	close(e.poisoned)
+	e.mu.Unlock()
+	for _, ib := range e.inboxes {
+		ib.kill()
+	}
+	for _, c := range e.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (e *endpoint) err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.perr == nil {
+		return errors.New("tcptransport: endpoint failed")
+	}
+	return e.perr
+}
+
+func (e *endpoint) errIfPoisoned() error {
+	select {
+	case <-e.poisoned:
+		return e.err()
+	default:
+		return nil
+	}
+}
+
+// inbox is one source rank's delivered-message queue. Pushes (from the
+// reader goroutine) never block; pop blocks until a message arrives or
+// the endpoint is poisoned, draining queued messages before reporting
+// the poison — the same drain-then-fail semantics as the in-process
+// fabric.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    [][]byte
+	head int
+	dead bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(buf []byte) {
+	ib.mu.Lock()
+	ib.q = append(ib.q, buf)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+func (ib *inbox) kill() {
+	ib.mu.Lock()
+	ib.dead = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) pop(e *endpoint) ([]byte, error) {
+	ib.mu.Lock()
+	for ib.head >= len(ib.q) && !ib.dead {
+		ib.cond.Wait()
+	}
+	if ib.head < len(ib.q) {
+		buf := ib.q[ib.head]
+		ib.q[ib.head] = nil
+		ib.head++
+		if ib.head == len(ib.q) {
+			ib.q = ib.q[:0]
+			ib.head = 0
+		}
+		ib.mu.Unlock()
+		return buf, nil
+	}
+	ib.mu.Unlock()
+	return nil, e.err()
+}

@@ -18,8 +18,8 @@ import (
 //	origFrom uint32 | origTo uint32 | payloadLen uint32 | payload
 //
 // A bundle is a concatenation of envelopes. Empty payloads are never
-// enveloped: the direct path delivers them as nil, and skipping them keeps
-// the two paths' results identical.
+// enveloped: the direct path delivers them as empty, and skipping them
+// keeps the two paths' results identical.
 
 const envelopeHeaderBytes = 12
 
@@ -35,21 +35,24 @@ func appendEnvelope(dst []byte, origFrom, origTo int, payload []byte) []byte {
 
 // parseEnvelopes walks a bundle, invoking fn once per envelope. Payload
 // slices alias the bundle.
-func parseEnvelopes(bundle []byte, fn func(origFrom, origTo int, payload []byte)) {
+func parseEnvelopes(bundle []byte, fn func(origFrom, origTo int, payload []byte) error) error {
 	for len(bundle) > 0 {
 		if len(bundle) < envelopeHeaderBytes {
-			panic(fmt.Sprintf("cluster: truncated envelope header (%d trailing bytes)", len(bundle)))
+			return fmt.Errorf("cluster: truncated envelope header (%d trailing bytes)", len(bundle))
 		}
 		from := int(binary.LittleEndian.Uint32(bundle[0:4]))
 		to := int(binary.LittleEndian.Uint32(bundle[4:8]))
 		n := int(binary.LittleEndian.Uint32(bundle[8:12]))
 		bundle = bundle[envelopeHeaderBytes:]
 		if len(bundle) < n {
-			panic(fmt.Sprintf("cluster: envelope %d->%d wants %d payload bytes, have %d", from, to, n, len(bundle)))
+			return fmt.Errorf("cluster: envelope %d->%d wants %d payload bytes, have %d", from, to, n, len(bundle))
 		}
-		fn(from, to, bundle[:n])
+		if err := fn(from, to, bundle[:n]); err != nil {
+			return err
+		}
 		bundle = bundle[n:]
 	}
+	return nil
 }
 
 // twoPhase runs the hierarchical all-to-all (§III-A adapted to a two-level
@@ -67,19 +70,27 @@ func parseEnvelopes(bundle []byte, fn func(origFrom, origTo int, payload []byte)
 // Net.TwoPhaseAllToAllCost (plus MetadataCost when variable) and returns it
 // to the caller, which charges it into "<label>-intra" / "<label>-inter"
 // buckets — immediately for the synchronous path, at Await for the
-// nonblocking one. The staged data movement is real shared-memory routing
-// with four barriers; only the clock is modelled.
-func (r *Rank) twoPhase(send [][]byte, variable bool) ([][]byte, netmodel.LinkCost) {
+// nonblocking one. The staged data movement is real message routing over
+// the transport; only the clock is modelled. Per-pair FIFO delivery orders
+// the hops (a rank reads all phase-1 bundles before its leader's phase-3
+// scatter), so a single trailing barrier closes the collective.
+func (r *Rank) twoPhase(send [][]byte, variable bool) ([][]byte, netmodel.LinkCost, error) {
 	c := r.c
 	me := r.ID
 	myNode := c.nodeOf[me]
 	myLeader := c.leaders[myNode]
 	recv := make([][]byte, c.N)
 	recv[me] = send[me]
+	var cost netmodel.LinkCost
+
+	if err := r.postSizeRow(send); err != nil {
+		return nil, cost, err
+	}
 
 	// --- phase 1 post: direct payloads to local peers, cross-node
-	// payloads bundled to the leader. Writing the full box row also clears
-	// any stale cells from a previous collective.
+	// payloads bundled to the leader. Every same-node peer gets a message
+	// (possibly empty) — the receiver unconditionally reads one bundle per
+	// local peer.
 	bundles := make([][]byte, c.N)
 	for to := 0; to < c.N; to++ {
 		if to == me || len(send[to]) == 0 {
@@ -101,16 +112,19 @@ func (r *Rank) twoPhase(send [][]byte, variable bool) ([][]byte, netmodel.LinkCo
 			}
 		}
 	}
-	c.mu.Lock()
-	for to := range bundles {
-		c.boxes[me][to] = bundles[to]
+	for to := 0; to < c.N; to++ {
+		if to != me && c.nodeOf[to] == myNode {
+			if err := r.tr.Send(to, bundles[to]); err != nil {
+				return nil, cost, err
+			}
+		}
 	}
-	c.mu.Unlock()
-	r.Barrier()
 
-	var cost netmodel.LinkCost
 	if me == 0 {
-		cost = c.Net.TwoPhaseAllToAllCost(c.sizes)
+		if err := r.gatherSizeRows(); err != nil {
+			return nil, cost, err
+		}
+		cost = c.Net.TwoPhaseAllToAllCost(r.scr.sizes)
 		if variable {
 			cost = cost.Add(c.Net.MetadataCost(c.N, MetadataBytesPerPair))
 		}
@@ -122,79 +136,89 @@ func (r *Rank) twoPhase(send [][]byte, variable bool) ([][]byte, netmodel.LinkCo
 		if from == me || c.nodeOf[from] != myNode {
 			continue
 		}
-		c.mu.Lock()
-		bundle := c.boxes[from][me]
-		c.mu.Unlock()
-		parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) {
+		bundle, err := r.tr.Recv(from)
+		if err != nil {
+			return nil, cost, err
+		}
+		err = parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) error {
 			if origTo == me {
 				recv[origFrom] = payload
-				return
+				return nil
 			}
 			if me != myLeader {
-				panic(fmt.Sprintf("cluster: rank %d received envelope for %d but is not a leader", me, origTo))
+				return fmt.Errorf("cluster: rank %d received envelope for %d but is not a leader", me, origTo)
 			}
 			crossByNode[c.nodeOf[origTo]] = appendEnvelope(crossByNode[c.nodeOf[origTo]], origFrom, origTo, payload)
+			return nil
 		})
+		if err != nil {
+			return nil, cost, err
+		}
 	}
-	// --- phase 2 post: leaders trade node-to-node bundles. The target
-	// cells belong to leader pairs, which phase 1 never populates (leaders
-	// live on distinct nodes), so posting right after the phase-1 reads is
-	// safe; the next barrier publishes them.
+
+	// --- phase 2: leaders trade node-to-node bundles, then unpack inbound
+	// ones — delivering their own payloads and rebundling the rest per
+	// local rank.
 	if me == myLeader {
-		c.mu.Lock()
 		for nd, l := range c.leaders {
 			if l != me {
-				c.boxes[me][l] = crossByNode[nd]
+				if err := r.tr.Send(l, crossByNode[nd]); err != nil {
+					return nil, cost, err
+				}
 			}
 		}
-		c.mu.Unlock()
-	}
-	r.Barrier()
-
-	// --- phase 2 read + phase 3 post: leaders unpack inbound bundles,
-	// deliver their own payloads, and rebundle the rest per local rank.
-	if me == myLeader {
 		scatter := make([][]byte, c.N)
 		for _, l := range c.leaders {
 			if l == me {
 				continue
 			}
-			c.mu.Lock()
-			bundle := c.boxes[l][me]
-			c.mu.Unlock()
-			parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) {
+			bundle, err := r.tr.Recv(l)
+			if err != nil {
+				return nil, cost, err
+			}
+			err = parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) error {
 				if origTo == me {
 					recv[origFrom] = payload
 				} else {
 					scatter[origTo] = appendEnvelope(scatter[origTo], origFrom, origTo, payload)
 				}
+				return nil
 			})
+			if err != nil {
+				return nil, cost, err
+			}
 		}
-		c.mu.Lock()
+		// --- phase 3 post: scatter final deliveries to local ranks.
 		for to := 0; to < c.N; to++ {
 			if to != me && c.nodeOf[to] == myNode {
-				c.boxes[me][to] = scatter[to]
+				if err := r.tr.Send(to, scatter[to]); err != nil {
+					return nil, cost, err
+				}
 			}
 		}
-		c.mu.Unlock()
-	}
-	r.Barrier()
-
-	// --- phase 3 read: non-leaders take final deliveries from their
-	// leader.
-	if me != myLeader {
-		c.mu.Lock()
-		bundle := c.boxes[myLeader][me]
-		c.mu.Unlock()
-		parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) {
+	} else {
+		// --- phase 3 read: non-leaders take final deliveries from their
+		// leader (FIFO after the leader's phase-1 bundle, already read).
+		bundle, err := r.tr.Recv(myLeader)
+		if err != nil {
+			return nil, cost, err
+		}
+		err = parseEnvelopes(bundle, func(origFrom, origTo int, payload []byte) error {
 			if origTo != me {
-				panic(fmt.Sprintf("cluster: rank %d received scatter envelope for %d", me, origTo))
+				return fmt.Errorf("cluster: rank %d received scatter envelope for %d", me, origTo)
 			}
 			recv[origFrom] = payload
+			return nil
 		})
+		if err != nil {
+			return nil, cost, err
+		}
 	}
-	// Final barrier so nobody starts the next collective (overwriting
-	// boxes) before all reads finish.
-	r.Barrier()
-	return recv, cost
+	// Trailing barrier so nobody starts the next collective (reusing send
+	// buffers the in-process fabric delivered by reference) before all
+	// reads finish.
+	if err := r.tr.Barrier(); err != nil {
+		return nil, cost, err
+	}
+	return recv, cost, nil
 }

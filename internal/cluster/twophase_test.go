@@ -40,7 +40,11 @@ func runExchange(n int, net netmodel.Topology, algo A2AAlgo, rounds int) [][][][
 			for to := 0; to < n; to++ {
 				send[to] = testPayload(r.ID, to, round, n)
 			}
-			out[round][r.ID] = r.AllToAllV(send, true, "x", algo)
+			recv, err := r.AllToAllV(send, true, "x", algo)
+			if err != nil {
+				panic(err)
+			}
+			out[round][r.ID] = recv
 		}
 	})
 	return out
@@ -85,7 +89,11 @@ func TestAlgoInterleavingReusesBoxes(t *testing.T) {
 			for to := 0; to < n; to++ {
 				send[to] = testPayload(r.ID, to, round, n)
 			}
-			recv := r.AllToAllV(send, false, "x", algo)
+			recv, err := r.AllToAllV(send, false, "x", algo)
+			if err != nil {
+				t.Errorf("round %d rank %d: %v", round, r.ID, err)
+				return
+			}
 			for from := 0; from < n; from++ {
 				if want := testPayload(from, r.ID, round, n); !bytes.Equal(recv[from], want) {
 					t.Errorf("round %d (algo %d): rank %d got %x from %d, want %x",
@@ -184,7 +192,11 @@ func TestSingleRankCollectivesAreFree(t *testing.T) {
 		c := New(1, net)
 		c.Run(func(r *Rank) {
 			payload := []byte{1, 2, 3}
-			recv := r.AllToAllV([][]byte{payload}, true, "x", A2AAuto)
+			recv, err := r.AllToAllV([][]byte{payload}, true, "x", A2AAuto)
+			if err != nil {
+				t.Errorf("%s: %v", net.Name(), err)
+				return
+			}
 			if !bytes.Equal(recv[0], payload) {
 				t.Errorf("%s: self-delivery broken", net.Name())
 			}
@@ -204,7 +216,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	bundle = appendEnvelope(bundle, 0, 2, nil)
 	bundle = appendEnvelope(bundle, 7, 1, []byte{0xff})
 	var seen int
-	parseEnvelopes(bundle, func(from, to int, payload []byte) {
+	err := parseEnvelopes(bundle, func(from, to int, payload []byte) error {
 		switch seen {
 		case 0:
 			if from != 3 || to != 11 || string(payload) != "hello" {
@@ -220,14 +232,15 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 			}
 		}
 		seen++
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if seen != 3 {
 		t.Fatalf("saw %d envelopes", seen)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("truncated bundle must panic")
-		}
-	}()
-	parseEnvelopes(bundle[:5], func(int, int, []byte) {})
+	if err := parseEnvelopes(bundle[:5], func(int, int, []byte) error { return nil }); err == nil {
+		t.Fatal("truncated bundle must fail")
+	}
 }

@@ -29,6 +29,16 @@ const (
 type Options struct {
 	// Ranks is the simulated GPU count.
 	Ranks int
+	// Transport, when non-nil, runs the trainer's collectives over the
+	// given fabric endpoint instead of the in-process channel fabric. The
+	// endpoint's World must equal Ranks; the trainer then hosts only the
+	// endpoint's rank, and the caller runs one identically-configured
+	// trainer per rank (one per process for cluster/tcptransport), feeding
+	// every process the same deterministic batch stream. Each process steps
+	// only its own rank — model state owned by other ranks goes stale
+	// locally — but losses and rank 0's sim-time buckets are bit-identical
+	// to the in-process run.
+	Transport cluster.Transport
 	// Model describes the DLRM instance replicated (MLPs) and sharded
 	// (embedding tables) across ranks.
 	Model model.Config
@@ -188,7 +198,18 @@ func NewTrainer(opts Options) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Trainer{opts: opts, cl: cluster.New(opts.Ranks, opts.Net), tmpl: tmpl}
+	var cl *cluster.Cluster
+	if opts.Transport != nil {
+		if w := opts.Transport.World(); w != opts.Ranks {
+			return nil, fmt.Errorf("dist: transport world size %d does not match Ranks %d", w, opts.Ranks)
+		}
+		if cl, err = cluster.NewOverTransport(opts.Transport, opts.Net); err != nil {
+			return nil, err
+		}
+	} else {
+		cl = cluster.New(opts.Ranks, opts.Net)
+	}
+	t := &Trainer{opts: opts, cl: cl, tmpl: tmpl}
 
 	if opts.CodecFor != nil {
 		paper := netmodel.PaperCodecRates()
@@ -299,6 +320,12 @@ func (t *Trainer) codecFor(tb int) codec.Codec {
 // Cluster exposes the simulated process group (for SimTimes breakdowns).
 func (t *Trainer) Cluster() *cluster.Cluster { return t.cl }
 
+// Close releases the trainer's communication endpoints. Over a wire
+// transport it runs the graceful shutdown handshake with the peers; on the
+// in-process fabric it tears the group down. The trainer cannot step after
+// Close.
+func (t *Trainer) Close() error { return t.cl.Close() }
+
 // CompressionRatio returns uncompressed/compressed bytes of all forward
 // all-to-all traffic that went through a codec so far (1 when nothing has).
 func (t *Trainer) CompressionRatio() float64 {
@@ -313,6 +340,11 @@ func (t *Trainer) CompressionRatio() float64 {
 // The data-parallel replicas are kept bit-identical by construction, so the
 // template's rank-0 MLPs together with the shared embedding tables are the
 // global model.
+//
+// Evaluate requires every rank in-process: over a distributed transport
+// the local process only updates the tables its own rank owns, so the
+// template is stale elsewhere (scenario validation rejects tcp+eval for
+// this reason).
 func (t *Trainer) Evaluate(b *criteo.Batch) (acc, logloss float64) {
 	logits := t.tmpl.Forward(b.Dense, b.Indices)
 	return nn.Accuracy(logits, b.Labels), nn.LogLoss(logits, b.Labels)

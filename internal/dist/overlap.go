@@ -53,6 +53,11 @@ func (t *Trainer) RunPipelined(steps int, next func(step int) *criteo.Batch) ([]
 	if steps <= 0 {
 		return nil, fmt.Errorf("dist: RunPipelined needs a positive step count, got %d", steps)
 	}
+	if t.cl.Distributed() {
+		// The overlap timeline needs every rank's collective costs in one
+		// process; distributed runs use synchronous Steps.
+		return nil, fmt.Errorf("dist: RunPipelined requires all ranks in-process; the distributed transport runs synchronous steps only")
+	}
 	if t.tl == nil {
 		t.tl = netmodel.NewTimeline()
 	}

@@ -1,8 +1,8 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"dlrmcomp/internal/cluster"
@@ -160,19 +160,27 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 	// after the fan-out joins. Run's WaitGroup orders both against the
 	// final read.
 	var st stepStats
-	// failed lets every rank see that some rank errored, so the step can
-	// finish its collectives (keeping the barriers aligned) without
-	// applying any update — an errored Step leaves the model untouched.
-	var failed atomic.Bool
 
 	t.cl.Run(func(rank *cluster.Rank) {
 		r := rank.ID
 		ws := t.ws[r]
+		// fail records a step-level failure (e.g. a codec error) and keeps
+		// going: the rank still runs its collectives so the fleet stays
+		// aligned, and the OrFlag exchange below makes every rank skip the
+		// parameter updates — an errored Step leaves the model untouched.
+		// abort is for transport failures: the fabric itself is broken, so
+		// the rank records the error and bails out (every peer's collectives
+		// are failing the same way; nobody is left blocking).
 		fail := func(err error) {
 			if sc.errs[r] == nil {
 				sc.errs[r] = err
 			}
-			failed.Store(true)
+		}
+		abort := func(err error) {
+			if sc.errs[r] == nil {
+				sc.errs[r] = err
+			}
+			sc.fatal[r] = true
 		}
 
 		// --- stage 1: owners gather lookups, compress, fuse, exchange ---
@@ -250,7 +258,11 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 			}
 		}
 		fwdOp := rank.IAllToAllV(ws.send, t.anyCodec, "fwd-a2a", t.opts.Algo)
-		recv := fwdOp.Await()
+		recv, err := fwdOp.Await()
+		if err != nil {
+			abort(err)
+			return
+		}
 		if r == 0 {
 			st.fwd = fwdOp.Cost()
 		}
@@ -353,7 +365,11 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 			}
 		}
 		bwdOp := rank.IAllToAllV(ws.send2, false, "bwd-a2a", t.opts.Algo)
-		recv2 := bwdOp.Await()
+		recv2, err := bwdOp.Await()
+		if err != nil {
+			abort(err)
+			return
+		}
 		if r == 0 {
 			st.bwd = bwdOp.Cost()
 		}
@@ -376,9 +392,15 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 				fail(err)
 			}
 		}
-		// The all-to-all barrier above makes every rank's stage 1-3 failure
-		// visible here; skip all updates so the model stays untouched.
-		if !failed.Load() {
+		// Agree fleet-wide on whether any rank failed in stages 1-4 (there
+		// are no failure sources between here and the optimizer): if one
+		// did, every rank skips all updates so the model stays untouched.
+		stepBad, err := rank.OrFlag(sc.errs[r] != nil)
+		if err != nil {
+			abort(err)
+			return
+		}
+		if !stepBad {
 			// Scatter in table order so duplicate-index accumulation
 			// matches the single-process trainer.
 			for tb := 0; tb < numTables; tb++ {
@@ -393,16 +415,64 @@ func (t *Trainer) runStep(b *criteo.Batch) (float32, stepStats, error) {
 		// --- stage 5: data-parallel gradient AllReduce + optimizer ---
 		flattenGrads(ws.params, ws.gradBuf)
 		arOp := rank.IAllReduceSum(ws.gradBuf, "allreduce")
-		arOp.Await()
+		if err := arOp.Await(); err != nil {
+			abort(err)
+			return
+		}
 		if r == 0 {
 			st.allreduce = arOp.Cost()
 		}
-		// The allreduce barrier also publishes stage-4 failures.
-		if !failed.Load() {
+		if !stepBad {
 			unflattenGrads(ws.gradBuf, ws.params)
 			rp.opt.Step(ws.params)
 		}
+
+		// Publish this rank's statistics so every process aggregates the
+		// step's global accounting from identical inputs.
+		var errStr string
+		if sc.errs[r] != nil {
+			errStr = sc.errs[r].Error()
+		}
+		ws.statsBlob = appendRankStats(ws.statsBlob[:0], rankStats{
+			loss:        sc.losses[r],
+			lookupBytes: sc.lookupBytes[r],
+			compress:    sc.compDur[r],
+			decompress:  sc.decompDur[r],
+			fwdRaw:      sc.fwdRaw[r],
+			fwdComp:     sc.fwdComp[r],
+			errStr:      errStr,
+		})
+		if err := rank.GatherAll(ws.statsBlob, ws.gathered); err != nil {
+			abort(err)
+		}
 	})
+
+	// A transport failure leaves no coherent global statistics; surface it
+	// directly (hosted ranks only — peers observe their own copy).
+	local := t.cl.Local()
+	for _, r := range local {
+		if sc.fatal[r] {
+			return 0, stepStats{}, sc.errs[r]
+		}
+	}
+	// Fill the rank-indexed accounting from the gathered records — globally
+	// identical, so distributed processes aggregate the same values the
+	// all-in-process run computes directly.
+	for r, rec := range t.ws[local[0]].gathered {
+		s, err := decodeRankStats(rec)
+		if err != nil {
+			return 0, stepStats{}, fmt.Errorf("dist: rank %d step stats: %w", r, err)
+		}
+		sc.losses[r] = s.loss
+		sc.lookupBytes[r] = s.lookupBytes
+		sc.compDur[r] = s.compress
+		sc.decompDur[r] = s.decompress
+		sc.fwdRaw[r] = s.fwdRaw
+		sc.fwdComp[r] = s.fwdComp
+		if sc.errs[r] == nil && s.errStr != "" {
+			sc.errs[r] = errors.New(s.errStr)
+		}
+	}
 
 	for _, err := range sc.errs {
 		if err != nil {

@@ -45,6 +45,12 @@ type stepWorkspace struct {
 	dLogits   *tensor.Matrix   // BCE gradient scratch
 	gradBuf   []float32        // flattened dense gradients for the allreduce
 	params    []nn.Param       // cached DenseParams of this rank's replica
+
+	// Step-statistics allgather scratch: this rank's encoded contribution
+	// and the per-rank slot table GatherAll fills (slots alias
+	// transport-owned memory valid until the next gather).
+	statsBlob []byte
+	gathered  [][]byte
 }
 
 // decJob is one received frame awaiting decode.
@@ -55,11 +61,15 @@ type decJob struct {
 }
 
 // stepScratch is trainer-level (rank-indexed) per-step accounting, reused
-// across steps.
+// across steps. Hosted ranks write their own slots during the fan-out; the
+// driver then overwrites every slot from the gathered (globally identical)
+// statistics, so the aggregation below works the same whether the other
+// ranks ran in this process or in peers.
 type stepScratch struct {
 	start, count []int
 	losses       []float32
 	errs         []error
+	fatal        []bool // transport failure: no coherent global stats exist
 	compDur      []time.Duration
 	decompDur    []time.Duration
 	lookupBytes  []int64
@@ -73,6 +83,7 @@ func newStepScratch(ranks int) stepScratch {
 		count:       make([]int, ranks),
 		losses:      make([]float32, ranks),
 		errs:        make([]error, ranks),
+		fatal:       make([]bool, ranks),
 		compDur:     make([]time.Duration, ranks),
 		decompDur:   make([]time.Duration, ranks),
 		lookupBytes: make([]int64, ranks),
@@ -86,6 +97,7 @@ func (s *stepScratch) reset() {
 	for r := range s.losses {
 		s.losses[r] = 0
 		s.errs[r] = nil
+		s.fatal[r] = false
 		s.compDur[r] = 0
 		s.decompDur[r] = 0
 		s.lookupBytes[r] = 0
@@ -115,6 +127,7 @@ func newStepWorkspace(ranks, numTables, numParams int, params []nn.Param) *stepW
 		denseView:   &tensor.Matrix{},
 		gradBuf:     make([]float32, numParams),
 		params:      params,
+		gathered:    make([][]byte, ranks),
 	}
 	for tb := range ws.tblFrame {
 		ws.tblFrame[tb] = make([][]byte, ranks)

@@ -96,12 +96,50 @@ func modelConfig(rs Spec, data criteo.Spec) model.Config {
 
 // Build resolves the spec and assembles the scenario: topology, dataset
 // generator, model config, per-table codecs, the adaptive controller (with
-// its offline classification when requested), and the trainer.
+// its offline classification when requested), and the trainer. Specs
+// declaring the tcp transport cannot build in one process — launch one
+// cmd/dlrmworker per rank, which calls BuildWorker.
 func (s Spec) Build() (*Built, error) {
 	rs, err := s.Resolved()
 	if err != nil {
 		return nil, err
 	}
+	if rs.Transport == "tcp" {
+		return nil, fmt.Errorf("scenario: transport %q runs one process per rank; launch cmd/dlrmworker (which uses BuildWorker) instead of Build", rs.Transport)
+	}
+	return build(rs, nil)
+}
+
+// BuildWorker assembles one rank's share of a multi-process run: the same
+// scenario Build would assemble, with the trainer's collectives running
+// over the given transport endpoint. Every worker process must call it
+// with an identical spec; each then drives its own Built through the same
+// lockstep Run, and the per-step losses every process reports are
+// bit-identical to each other and to the in-process Build of the same
+// spec (rank 0's process also reproduces the sim-time buckets).
+func (s Spec) BuildWorker(tr cluster.Transport) (*Built, error) {
+	rs, err := s.Resolved()
+	if err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("scenario: BuildWorker needs a transport endpoint")
+	}
+	if tr.World() != rs.Ranks {
+		return nil, fmt.Errorf("scenario: transport world %d does not match the spec's %d ranks", tr.World(), rs.Ranks)
+	}
+	if rs.Overlap {
+		return nil, fmt.Errorf("scenario: overlap needs every rank in one process; BuildWorker cannot run it")
+	}
+	if rs.Eval > 0 {
+		return nil, fmt.Errorf("scenario: eval needs the whole trained model in one process; BuildWorker cannot run it")
+	}
+	return build(rs, tr)
+}
+
+// build assembles a resolved scenario, over the in-process fabric when tr
+// is nil or the given endpoint otherwise.
+func build(rs Spec, tr cluster.Transport) (*Built, error) {
 	data := scaledData(rs)
 	gen := criteo.NewGenerator(data)
 	net, err := netmodel.ByName(rs.Topology, rs.RanksPerNode)
@@ -116,6 +154,7 @@ func (s Spec) Build() (*Built, error) {
 
 	opts := dist.Options{
 		Ranks:              rs.Ranks,
+		Transport:          tr,
 		Model:              cfg,
 		Net:                net,
 		Algo:               algo,
@@ -145,11 +184,11 @@ func (s Spec) Build() (*Built, error) {
 		opts.Controller = ctrl
 		b.Offline = offline
 	}
-	tr, err := dist.NewTrainer(opts)
+	trainer, err := dist.NewTrainer(opts)
 	if err != nil {
 		return nil, err
 	}
-	b.Trainer = tr
+	b.Trainer = trainer
 	return b, nil
 }
 

@@ -51,6 +51,14 @@ type Spec struct {
 	// A2A selects the all-to-all algorithm: "auto" (default), "direct", or
 	// "twophase".
 	A2A string `json:"a2a,omitempty"`
+	// Transport selects the collective fabric: "inproc" (default; every
+	// rank a goroutine in one process) or "tcp" (one OS process per rank
+	// over cluster/tcptransport; launch with cmd/dlrmworker). The two
+	// transports produce bit-identical losses and sim-time buckets — the
+	// conformance suite enforces it. A "tcp" spec cannot Overlap (the
+	// pipelined clock needs every rank's costs in one process) and cannot
+	// Eval (no single process holds the whole trained model).
+	Transport string `json:"transport,omitempty"`
 
 	// Codec names the forward all-to-all compressor: "none" (default),
 	// "hybrid", "vector", "huffman", "fp16", "fp8", "cusz", "fzgpu", "lz4",
@@ -120,9 +128,10 @@ type Spec struct {
 
 // datasets, devices, and classes the Spec accepts ("" = default).
 var (
-	datasetNames = map[string]bool{"": true, "kaggle": true, "terabyte": true}
-	deviceNames  = map[string]bool{"": true, "a100": true, "paper": true}
-	classNames   = map[string]bool{"": true, "offline": true, "uniform": true}
+	datasetNames   = map[string]bool{"": true, "kaggle": true, "terabyte": true}
+	deviceNames    = map[string]bool{"": true, "a100": true, "paper": true}
+	classNames     = map[string]bool{"": true, "offline": true, "uniform": true}
+	transportNames = map[string]bool{"": true, "inproc": true, "tcp": true}
 )
 
 // errorBoundedCodecs are the codec names whose frames honor ErrorBound (and
@@ -179,6 +188,15 @@ func (s Spec) Validate() error {
 	}
 	if !codecNames[s.Codec] {
 		add("unknown codec %q (want none, hybrid, vector, huffman, fp16, fp8, cusz, fzgpu, lz4, or deflate)", s.Codec)
+	}
+	if !transportNames[s.Transport] {
+		add("unknown transport %q (want inproc or tcp)", s.Transport)
+	}
+	if s.Transport == "tcp" && s.Overlap {
+		add("transport tcp cannot overlap: the pipelined driver needs every rank's collective costs in one process")
+	}
+	if s.Transport == "tcp" && s.Eval > 0 {
+		add("transport tcp cannot eval: no worker process holds the whole trained model; evaluate with an in-process scenario")
 	}
 	if _, err := netmodel.ByName(s.Topology, s.RanksPerNode); err != nil {
 		errs = append(errs, err)
@@ -298,6 +316,9 @@ func (s Spec) Resolved() (Spec, error) {
 	s.Ranks = s.resolvedRanks()
 	if s.A2A == "" {
 		s.A2A = "auto"
+	}
+	if s.Transport == "" {
+		s.Transport = "inproc"
 	}
 	if s.Codec == "" {
 		s.Codec = "none"

@@ -24,6 +24,7 @@ func fullSpec() Spec {
 		RanksPerNode:       4,
 		Topology:           "hier",
 		A2A:                "twophase",
+		Transport:          "inproc", // Overlap below; a tcp spec cannot overlap
 		Codec:              "hybrid",
 		ErrorBound:         0.02,
 		CodecWorkers:       2,
@@ -58,6 +59,10 @@ func TestValidate(t *testing.T) {
 		{"consistent ranks and nodes", Spec{Topology: "hier", Ranks: 8, Nodes: 2, RanksPerNode: 4}, nil},
 		{"unknown dataset", Spec{Dataset: "movielens"}, []string{"unknown dataset"}},
 		{"unknown codec", Spec{Codec: "zstd"}, []string{"unknown codec"}},
+		{"tcp transport", Spec{Transport: "tcp", Ranks: 4, Steps: 5}, nil},
+		{"unknown transport", Spec{Transport: "mpi"}, []string{"unknown transport"}},
+		{"tcp cannot overlap", Spec{Transport: "tcp", Overlap: true}, []string{"transport tcp cannot overlap"}},
+		{"tcp cannot eval", Spec{Transport: "tcp", Eval: 100}, []string{"transport tcp cannot eval"}},
 		{"unknown topology", Spec{Topology: "torus"}, []string{"unknown topology"}},
 		{"unknown a2a", Spec{A2A: "ring"}, []string{"all-to-all algorithm"}},
 		{"unknown schedule", Spec{Schedule: "cosine"}, []string{"decay schedule"}},
@@ -130,7 +135,7 @@ func TestResolvedDefaults(t *testing.T) {
 	}
 	want := Spec{
 		Dataset: "kaggle", Dim: 16, Steps: 10, Ranks: 8, RanksPerNode: 4,
-		Topology: "flat", A2A: "auto", Codec: "none", Device: "a100",
+		Topology: "flat", A2A: "auto", Transport: "inproc", Codec: "none", Device: "a100",
 		Batch:     128, // kaggle default, already a multiple of 8
 		BottomMLP: []int{64, 32}, TopMLP: []int{64, 32},
 	}
