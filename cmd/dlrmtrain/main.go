@@ -120,6 +120,10 @@ func main() {
 			l, m, s, sp.Schedule, sp.DecayFactor, sp.DecayPhase)
 	}
 	fmt.Printf("topology %s: %d ranks across %d node(s)\n", built.Net.Name(), sp.Ranks, built.Net.Nodes(sp.Ranks))
+	if fp := sp.Faults; fp != nil {
+		fmt.Printf("fault plan: jitter %g, %d slow rank(s), %d drop/rejoin event(s)\n",
+			fp.Jitter, len(fp.Slow), len(fp.Events))
+	}
 
 	res, err := built.Run()
 	if err != nil {
@@ -129,6 +133,14 @@ func main() {
 		if i%10 == 0 || i == len(res.Losses)-1 {
 			fmt.Printf("step %4d  loss %.4f\n", i, loss)
 		}
+	}
+	for _, r := range res.Reshards {
+		fmt.Printf("reshard before step %d: %d -> %d ranks, %d table(s) moved (%d bytes)\n",
+			r.Step, r.FromRanks, r.ToRanks, r.MovedTables, r.MovedBytes)
+	}
+	if ck := res.Checkpoints; ck != nil {
+		fmt.Printf("checkpoints: %d saved, %d -> %d bytes (%.2fx)\n",
+			ck.Count, ck.RawBytes, ck.WireBytes, ck.Ratio)
 	}
 	if sp.Eval > 0 {
 		fmt.Printf("\neval: accuracy %.4f  logloss %.4f\n", res.Accuracy, res.LogLoss)

@@ -15,6 +15,13 @@
 // The -inproc flag instead runs the whole scenario in this one process
 // over the in-process fabric — the baseline the CI smoke test compares
 // worker output against, byte for byte.
+//
+// A scenario's fault plan (jitter and slow ranks) rides along: every
+// worker loads the same spec, so rank 0 — where collective cost is
+// computed — always has the plan, and the faulted run's RESULT and
+// SIMTIME lines still match the in-process baseline bit for bit.
+// Drop/rejoin events and checkpoints need the in-process elastic runner
+// and are rejected for tcp specs at validation.
 package main
 
 import (

@@ -49,6 +49,12 @@ type PendingAllToAll struct {
 // collective must call it (and later Await), like any collective.
 func (r *Rank) IAllToAllV(send [][]byte, variable bool, label string, algo A2AAlgo) *PendingAllToAll {
 	recv, cost, err := r.exchange(send, variable, algo)
+	if err == nil && r.ID == 0 {
+		// Fault injection scales the cost at the one point it is known
+		// (rank 0), before it reaches the handle: Await's charge and any
+		// overlap scheduler reading Cost() both see the inflated figure.
+		cost = scaleLinkCost(cost, r.c.faultScale())
+	}
 	return &PendingAllToAll{c: r.c, rank: r.ID, label: label, recv: recv, cost: cost, err: err}
 }
 
@@ -96,6 +102,9 @@ type PendingAllReduce struct {
 // AllReduceSum.
 func (r *Rank) IAllReduceSum(x []float32, label string) *PendingAllReduce {
 	cost, err := r.reduce(x)
+	if err == nil && r.ID == 0 {
+		cost = scaleDuration(cost, r.c.faultScale())
+	}
 	return &PendingAllReduce{c: r.c, rank: r.ID, label: label, cost: cost, err: err}
 }
 

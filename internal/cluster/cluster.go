@@ -79,6 +79,7 @@ type Cluster struct {
 
 	mu      sync.Mutex
 	simTime map[string]time.Duration
+	faults  *faultInjector
 }
 
 // rankScratch is one hosted rank's persistent collective workspace: every
@@ -279,6 +280,15 @@ func (c *Cluster) chargeA2A(label string, cost netmodel.LinkCost) {
 		return
 	}
 	c.AddSimTime(label, cost.Total())
+}
+
+// ChargeLinkCost charges a modelled link cost to the labelled bucket with
+// the same per-link attribution the collectives use (multi-node topologies
+// split into "<label>-intra"/"<label>-inter"). It is how out-of-band
+// modelled traffic — e.g. the elastic reshard transfer — lands in the
+// sim-time profile.
+func (c *Cluster) ChargeLinkCost(label string, cost netmodel.LinkCost) {
+	c.chargeA2A(label, cost)
 }
 
 // ResetSimTime clears all buckets.

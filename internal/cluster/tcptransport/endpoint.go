@@ -173,6 +173,19 @@ func (e *endpoint) Close() error {
 	return nil
 }
 
+// Kill severs the endpoint abruptly: no close notify is sent, the
+// connections just die — which is exactly what a crashed rank looks like
+// from the other end of the wire. Peers observe a mid-stream EOF and
+// poison themselves, turning every blocked or future collective into a
+// prompt error. The chaos tests use it to police the errors-not-deadlocks
+// contract; cooperative teardown should use Close. Safe to call more than
+// once and concurrently with any other method.
+func (e *endpoint) Kill() {
+	e.closeOnce.Do(func() {}) // a later Close must not send close notifies
+	e.poison(fmt.Errorf("tcptransport: rank %d killed (fault injection)", e.rank))
+	e.wg.Wait()
+}
+
 // writeFrame writes one frame to peer to. Callers run on the owning
 // rank's goroutine, so writes to a connection never interleave.
 func (e *endpoint) writeFrame(to int, kind byte, payload []byte) error {

@@ -85,6 +85,16 @@ type Options struct {
 	// (the dual-level adaptive strategy): before each step, every
 	// error-bounded codec gets SetErrorBound(Controller.EBAt(table, iter)).
 	Controller *adapt.Controller
+	// Faults, when non-nil, arms the cluster with a fault-injection plan:
+	// per-collective latency jitter and per-rank slow multipliers inflate
+	// the simulated cost of every collective (the straggler's factor
+	// dominates, since a collective completes when its slowest participant
+	// does). Faults scale the modelled clock only — losses are
+	// bit-identical to the healthy run. Drop/rejoin events in the plan are
+	// ignored here; the scenario layer's elastic runner consumes them.
+	// Under a wire transport every process must pass the same plan so
+	// rank 0 (where cost is computed) always has it.
+	Faults *cluster.FaultPlan
 	// DenseLR is the SGD learning rate for the data-parallel MLPs
 	// (0 = DefaultDenseLR).
 	DenseLR float32
@@ -155,6 +165,10 @@ type Trainer struct {
 	pipeSerial     time.Duration
 	pending        *stepStats
 	pendingFwdDone time.Duration
+
+	// Close-once state: the first Close's result, replayed by later calls.
+	closed   bool
+	closeErr error
 }
 
 // NewTrainer validates opts, builds the template model, the per-rank MLP
@@ -210,6 +224,12 @@ func NewTrainer(opts Options) (*Trainer, error) {
 		cl = cluster.New(opts.Ranks, opts.Net)
 	}
 	t := &Trainer{opts: opts, cl: cl, tmpl: tmpl}
+	if opts.Faults != nil {
+		if err := cl.SetFaultPlan(opts.Faults); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
 
 	if opts.CodecFor != nil {
 		paper := netmodel.PaperCodecRates()
@@ -323,8 +343,18 @@ func (t *Trainer) Cluster() *cluster.Cluster { return t.cl }
 // Close releases the trainer's communication endpoints. Over a wire
 // transport it runs the graceful shutdown handshake with the peers; on the
 // in-process fabric it tears the group down. The trainer cannot step after
-// Close.
-func (t *Trainer) Close() error { return t.cl.Close() }
+// Close. Close is idempotent — later calls return the first call's result
+// without touching the endpoints again — and safe after a transport
+// failure (a poisoned endpoint's teardown is a no-op beyond surfacing its
+// error state).
+func (t *Trainer) Close() error {
+	if t.closed {
+		return t.closeErr
+	}
+	t.closed = true
+	t.closeErr = t.cl.Close()
+	return t.closeErr
+}
 
 // CompressionRatio returns uncompressed/compressed bytes of all forward
 // all-to-all traffic that went through a codec so far (1 when nothing has).

@@ -187,6 +187,56 @@ func TestTrainerTransportConformance(t *testing.T) {
 	}
 }
 
+// TestTrainerTransportFaultConformance extends the matrix with an armed
+// fault plan: jitter plus a 10x straggler must leave the losses AND
+// rank 0's sim-time buckets bit-identical across transports, because the
+// cost scaling and the jitter sequence both live on rank 0's cost path.
+// Every worker process of a wire-transport run passes the same plan.
+func TestTrainerTransportFaultConformance(t *testing.T) {
+	spec := testSpec()
+	cfg := testConfig(spec, 8)
+	faults := &cluster.FaultPlan{
+		Seed:   42,
+		Jitter: 0.3,
+		Slow:   []cluster.SlowRank{{Rank: 1, Factor: 10}},
+	}
+	for _, tc := range []struct {
+		name  string
+		ranks int
+		topo  netmodel.Topology
+		algo  cluster.A2AAlgo
+	}{
+		{"2ranks_direct_faults", 2, nil, cluster.A2ADirect},
+		{"4ranks_twophase_hier_faults", 4, netmodel.PaperHierarchical(2), cluster.A2ATwoPhase},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Ranks: tc.ranks, Model: cfg, Net: tc.topo, Algo: tc.algo, Faults: faults}
+			want := runTrainInproc(t, opts, spec)
+			got := runTrainTCP(t, opts, spec)
+			compareRuns(t, want, got, tc.name)
+
+			// The plan must actually have bitten: the same run without it
+			// charges strictly less simulated time and the same losses.
+			healthy := runTrainInproc(t, Options{Ranks: tc.ranks, Model: cfg, Net: tc.topo, Algo: tc.algo}, spec)
+			for i := range healthy.losses {
+				if math.Float32bits(healthy.losses[i]) != math.Float32bits(want.losses[i]) {
+					t.Fatalf("step %d: faults changed the loss (%v healthy, %v faulted)", i, healthy.losses[i], want.losses[i])
+				}
+			}
+			var healthyTotal, faultedTotal time.Duration
+			for _, v := range healthy.sims {
+				healthyTotal += v
+			}
+			for _, v := range want.sims {
+				faultedTotal += v
+			}
+			if faultedTotal <= healthyTotal {
+				t.Fatalf("fault plan charged no extra sim-time: healthy %v, faulted %v", healthyTotal, faultedTotal)
+			}
+		})
+	}
+}
+
 // TestTrainerTransportWorldMismatch: a transport whose world disagrees
 // with Ranks is a construction error, not a hang.
 func TestTrainerTransportWorldMismatch(t *testing.T) {

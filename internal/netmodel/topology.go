@@ -60,6 +60,17 @@ func (c LinkCost) Add(o LinkCost) LinkCost {
 	return LinkCost{Intra: c.Intra + o.Intra, Inter: c.Inter + o.Inter}
 }
 
+// Scale multiplies both components by f. The fault injector uses it to
+// model stragglers and jitter: a collective completes when its slowest
+// participant does, so inflating the whole cost by the worst multiplier
+// is the right first-order model.
+func (c LinkCost) Scale(f float64) LinkCost {
+	return LinkCost{
+		Intra: time.Duration(float64(c.Intra) * f),
+		Inter: time.Duration(float64(c.Inter) * f),
+	}
+}
+
 // --- flat Network as a Topology ---------------------------------------------
 
 // Name implements Topology.

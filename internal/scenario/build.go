@@ -137,21 +137,17 @@ func (s Spec) BuildWorker(tr cluster.Transport) (*Built, error) {
 	return build(rs, tr)
 }
 
-// build assembles a resolved scenario, over the in-process fabric when tr
-// is nil or the given endpoint otherwise.
-func build(rs Spec, tr cluster.Transport) (*Built, error) {
-	data := scaledData(rs)
-	gen := criteo.NewGenerator(data)
-	net, err := netmodel.ByName(rs.Topology, rs.RanksPerNode)
-	if err != nil {
-		return nil, err
-	}
+// trainerOptions assembles the dist.Options a resolved scenario declares,
+// minus the adaptive controller (build adds the real one, the elastic
+// runner's segment rebuilds a placeholder the restore overwrites). The
+// fault plan rides along as-is — the dist layer consumes its jitter and
+// slow multipliers and ignores its events, which only the elastic runner
+// acts on.
+func trainerOptions(rs Spec, cfg model.Config, net netmodel.Topology, tr cluster.Transport) (dist.Options, error) {
 	algo, err := cluster.ParseA2AAlgo(rs.A2A)
 	if err != nil {
-		return nil, err
+		return dist.Options{}, err
 	}
-	cfg := modelConfig(rs, data)
-
 	opts := dist.Options{
 		Ranks:              rs.Ranks,
 		Transport:          tr,
@@ -161,6 +157,7 @@ func build(rs Spec, tr cluster.Transport) (*Built, error) {
 		OtherComputeFactor: rs.OtherComputeFactor,
 		CodecWorkers:       rs.CodecWorkers,
 		ComputeWorkers:     rs.ComputeWorkers,
+		Faults:             rs.Faults,
 	}
 	if rs.Device == "paper" {
 		opts.Device = netmodel.PaperDevice()
@@ -172,7 +169,24 @@ func build(rs Spec, tr cluster.Transport) (*Built, error) {
 		// Validation accepted the name but the factory has no case for it:
 		// a drift between codecNames and codecFactory. Running uncompressed
 		// silently is exactly the failure mode this layer removes.
-		return nil, fmt.Errorf("scenario: codec %q validated but has no factory; codecNames and codecFactory have drifted", rs.Codec)
+		return dist.Options{}, fmt.Errorf("scenario: codec %q validated but has no factory; codecNames and codecFactory have drifted", rs.Codec)
+	}
+	return opts, nil
+}
+
+// build assembles a resolved scenario, over the in-process fabric when tr
+// is nil or the given endpoint otherwise.
+func build(rs Spec, tr cluster.Transport) (*Built, error) {
+	data := scaledData(rs)
+	gen := criteo.NewGenerator(data)
+	net, err := netmodel.ByName(rs.Topology, rs.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := modelConfig(rs, data)
+	opts, err := trainerOptions(rs, cfg, net, tr)
+	if err != nil {
+		return nil, err
 	}
 
 	b := &Built{Spec: rs, Data: data, Gen: gen, Net: net}

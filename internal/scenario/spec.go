@@ -10,6 +10,7 @@ import (
 	"dlrmcomp/internal/adapt"
 	"dlrmcomp/internal/cluster"
 	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/dist"
 	"dlrmcomp/internal/netmodel"
 )
 
@@ -124,6 +125,39 @@ type Spec struct {
 	// before sampling. 0 samples from initialization, consuming the
 	// training generator — the CLI's offline flow.
 	WarmSteps int `json:"warm_steps,omitempty"`
+
+	// Faults, when non-nil, injects deterministic failures: latency jitter
+	// and per-rank slow multipliers inflate collective sim-time (losses stay
+	// bit-identical to the healthy run), and drop/rejoin events make the run
+	// elastic — each event is a segment boundary where the run checkpoints,
+	// rebuilds the trainer at the surviving world size (resharding the
+	// tables round-robin and charging the redistribution to the "reshard"
+	// bucket), restores, and trains on. Events need the in-process
+	// transport and no overlap; jitter and slow ranks work everywhere.
+	Faults *cluster.FaultPlan `json:"faults,omitempty"`
+	// Checkpoint, when non-nil, checkpoints the trainer during the run.
+	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
+}
+
+// CheckpointSpec configures in-run checkpointing. Checkpoints serialize to
+// memory — the scenario layer measures and verifies them; persisting to
+// disk is the driver's business. Requires the in-process transport (a
+// worker process holds only its own rank's fresh state) and no overlap
+// (checkpoints capture between-steps state).
+type CheckpointSpec struct {
+	// Every saves a checkpoint after every Every-th step (0 = only the
+	// segment-boundary checkpoints an elastic run takes anyway).
+	Every int `json:"every,omitempty"`
+	// Codec is the lossless frame codec ("raw", "lzss", or "deflate";
+	// "" = lzss). Lossy codecs are not on the menu: a checkpoint must
+	// restore bit-exactly or the resume-parity guarantee dies.
+	Codec string `json:"codec,omitempty"`
+	// Verify restores every saved checkpoint straight back into the live
+	// trainer. Restoring round-tripped state is a no-op exactly when
+	// save/restore is bit-faithful, so a verified run's losses are
+	// bit-identical to the same run without checkpointing — the parity
+	// tests pin that.
+	Verify bool `json:"verify,omitempty"`
 }
 
 // datasets, devices, and classes the Spec accepts ("" = default).
@@ -145,6 +179,16 @@ var codecNames = map[string]bool{
 	"": true, "none": true, "hybrid": true, "vector": true, "huffman": true,
 	"fp16": true, "fp8": true, "cusz": true, "fzgpu": true, "lz4": true, "deflate": true,
 }
+
+// checkpointCodecNames is every accepted CheckpointSpec.Codec value, taken
+// from the dist layer's menu so the two cannot drift ("" = the default).
+var checkpointCodecNames = func() map[string]bool {
+	m := map[string]bool{"": true}
+	for _, n := range dist.CheckpointCodecs() {
+		m[n] = true
+	}
+	return m
+}()
 
 // baseSpec returns the criteo dataset spec a Dataset name denotes.
 func baseSpec(name string) criteo.Spec {
@@ -273,6 +317,33 @@ func (s Spec) Validate() error {
 		}
 	}
 
+	// Faults and checkpointing.
+	if err := s.Faults.Validate(s.resolvedRanks(), s.Steps); err != nil {
+		errs = append(errs, err)
+	}
+	if s.Faults != nil && len(s.Faults.Events) > 0 {
+		if s.Transport == "tcp" {
+			add("fault events need the in-process transport: the elastic runner checkpoints and rebuilds the whole world in one process")
+		}
+		if s.Overlap {
+			add("fault events cannot overlap: segment boundaries checkpoint between steps, and the pipelined driver keeps steps in flight")
+		}
+	}
+	if c := s.Checkpoint; c != nil {
+		if c.Every < 0 {
+			add("checkpoint every must be >= 0, got %d", c.Every)
+		}
+		if !checkpointCodecNames[c.Codec] {
+			add("unknown checkpoint codec %q (want raw, lzss, or deflate)", c.Codec)
+		}
+		if s.Transport == "tcp" {
+			add("checkpoints need the in-process transport: a worker process holds fresh state only for its own rank")
+		}
+		if s.Overlap {
+			add("checkpoints cannot overlap: they capture between-steps state, and the pipelined driver keeps steps in flight")
+		}
+	}
+
 	// Codec / adaptive consistency.
 	codecName := s.Codec
 	if codecName == "" {
@@ -364,6 +435,13 @@ func (s Spec) Resolved() (Spec, error) {
 		if s.OfflineEB == 0 {
 			s.OfflineEB = s.ErrorBound
 		}
+	}
+	if s.Checkpoint != nil && s.Checkpoint.Codec == "" {
+		// Clone before filling the default: Resolved returns a copy, and
+		// writing through the shared pointer would mutate the caller's spec.
+		c := *s.Checkpoint
+		c.Codec = dist.DefaultCheckpointCodec
+		s.Checkpoint = &c
 	}
 	return s, nil
 }

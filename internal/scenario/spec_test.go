@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"dlrmcomp/internal/cluster"
 )
 
 // fullSpec exercises every field once, for the JSON golden.
@@ -44,6 +46,19 @@ func fullSpec() Spec {
 		Seed:               7,
 		ModelSeed:          9,
 		WarmSteps:          4,
+		// Overlap above conflicts with events and checkpoints, so fullSpec
+		// is marshal-complete but not Validate-clean; tests that resolve it
+		// clear Overlap first.
+		Faults: &cluster.FaultPlan{
+			Seed:   11,
+			Jitter: 0.25,
+			Slow:   []cluster.SlowRank{{Rank: 5, Factor: 10}},
+			Events: []cluster.FaultEvent{
+				{Step: 4, Kind: "drop", Rank: 5},
+				{Step: 8, Kind: "rejoin", Rank: 5},
+			},
+		},
+		Checkpoint: &CheckpointSpec{Every: 5, Codec: "lzss", Verify: true},
 	}
 }
 
@@ -101,6 +116,61 @@ func TestValidate(t *testing.T) {
 		{"adaptive without codec", Spec{Adaptive: true}, []string{"adaptive error bounds need a codec"}},
 		{"adaptive with fixed-rate codec", Spec{Adaptive: true, Codec: "fp16"}, []string{"error-bounded codec"}},
 		{"adaptive hybrid needs no eb", Spec{Adaptive: true, Codec: "hybrid"}, nil},
+		{
+			"faults with straggler and events",
+			Spec{Ranks: 8, Steps: 40, Faults: &cluster.FaultPlan{
+				Jitter: 0.2,
+				Slow:   []cluster.SlowRank{{Rank: 5, Factor: 10}},
+				Events: []cluster.FaultEvent{{Step: 20, Kind: "drop", Rank: 5}, {Step: 30, Kind: "rejoin", Rank: 5}},
+			}},
+			nil,
+		},
+		{
+			"slow rank outside the world",
+			Spec{Ranks: 4, Faults: &cluster.FaultPlan{Slow: []cluster.SlowRank{{Rank: 7, Factor: 2}}}},
+			[]string{"slow rank 7 outside world of 4"},
+		},
+		{
+			"fault event at or past the run's steps",
+			Spec{Ranks: 4, Steps: 10, Faults: &cluster.FaultPlan{Events: []cluster.FaultEvent{{Step: 10, Kind: "drop", Rank: 1}}}},
+			[]string{"at or past the run's 10 steps"},
+		},
+		{
+			"fault events over tcp",
+			Spec{Transport: "tcp", Ranks: 4, Steps: 10, Faults: &cluster.FaultPlan{Events: []cluster.FaultEvent{{Step: 5, Kind: "drop", Rank: 1}}}},
+			[]string{"fault events need the in-process transport"},
+		},
+		{
+			"fault events under overlap",
+			Spec{Overlap: true, Ranks: 4, Steps: 10, Faults: &cluster.FaultPlan{Events: []cluster.FaultEvent{{Step: 5, Kind: "drop", Rank: 1}}}},
+			[]string{"fault events cannot overlap"},
+		},
+		{
+			"jitter and stragglers alone are fine under tcp and overlap",
+			Spec{Transport: "tcp", Ranks: 4, Steps: 10, Faults: &cluster.FaultPlan{Jitter: 0.1, Slow: []cluster.SlowRank{{Rank: 2, Factor: 3}}}},
+			nil,
+		},
+		{"checkpointed run", Spec{Steps: 10, Checkpoint: &CheckpointSpec{Every: 5, Verify: true}}, nil},
+		{
+			"checkpoint codec must be lossless",
+			Spec{Checkpoint: &CheckpointSpec{Codec: "hybrid"}},
+			[]string{"unknown checkpoint codec"},
+		},
+		{
+			"negative checkpoint cadence",
+			Spec{Checkpoint: &CheckpointSpec{Every: -1}},
+			[]string{"checkpoint every must be >= 0"},
+		},
+		{
+			"checkpoints over tcp",
+			Spec{Transport: "tcp", Checkpoint: &CheckpointSpec{Every: 5}},
+			[]string{"checkpoints need the in-process transport"},
+		},
+		{
+			"checkpoints under overlap",
+			Spec{Overlap: true, Checkpoint: &CheckpointSpec{Every: 5}},
+			[]string{"checkpoints cannot overlap"},
+		},
 		{
 			"multiple errors reported together",
 			Spec{Dataset: "movielens", Codec: "zstd", Steps: -3, Ranks: 8, Nodes: 4, RanksPerNode: 8, Topology: "hier"},
@@ -178,8 +248,27 @@ func TestResolvedAdaptiveDefaults(t *testing.T) {
 	}
 }
 
+func TestResolvedCheckpointCodecDefault(t *testing.T) {
+	orig := Spec{Steps: 10, Checkpoint: &CheckpointSpec{Every: 5}}
+	rs, err := orig.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Checkpoint.Codec != "lzss" {
+		t.Fatalf("checkpoint codec = %q, want the lzss default", rs.Checkpoint.Codec)
+	}
+	if orig.Checkpoint.Codec != "" {
+		t.Fatal("Resolved mutated the caller's Checkpoint through the shared pointer")
+	}
+}
+
 func TestResolvedIdempotent(t *testing.T) {
-	rs, err := fullSpec().Resolved()
+	// fullSpec combines overlap with fault events and checkpoints, which
+	// Validate rejects (it exists for the JSON golden); resolve the
+	// un-overlapped variant.
+	s := fullSpec()
+	s.Overlap = false
+	rs, err := s.Resolved()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,9 +34,40 @@ type Result struct {
 	// Offline reports the L/M/S table counts when the offline
 	// classification ran.
 	Offline *OfflineCounts `json:"offline,omitempty"`
+	// Reshards reports the elastic rank-set changes an event-bearing fault
+	// plan caused, in event order.
+	Reshards []ReshardReport `json:"reshards,omitempty"`
+	// Checkpoints reports the checkpoint activity (periodic saves plus the
+	// segment-boundary saves of an elastic run).
+	Checkpoints *CheckpointReport `json:"checkpoints,omitempty"`
 	// WallClock is how long the scenario took for real. It is the one
 	// nondeterministic field: determinism comparisons must ignore it.
 	WallClock time.Duration `json:"wall_clock,omitempty"`
+}
+
+// ReshardReport is one elastic world-size change.
+type ReshardReport struct {
+	// Step is the training step before which the rank set changed.
+	Step int `json:"step"`
+	// FromRanks and ToRanks are the world sizes on each side.
+	FromRanks int `json:"from_ranks"`
+	ToRanks   int `json:"to_ranks"`
+	// MovedTables and MovedBytes size the round-robin redistribution the
+	// change caused (charged to the "reshard" sim-time bucket).
+	MovedTables int   `json:"moved_tables"`
+	MovedBytes  int64 `json:"moved_bytes"`
+}
+
+// CheckpointReport sums a run's checkpoint traffic.
+type CheckpointReport struct {
+	// Count is how many checkpoints were saved.
+	Count int `json:"count"`
+	// RawBytes and WireBytes sum the uncompressed and encoded weight
+	// payloads across all saves.
+	RawBytes  int64 `json:"raw_bytes"`
+	WireBytes int64 `json:"wire_bytes"`
+	// Ratio is RawBytes/WireBytes (1 when nothing was saved).
+	Ratio float64 `json:"ratio"`
 }
 
 // OfflineCounts are the table counts per error-bound class.
@@ -47,11 +78,16 @@ type OfflineCounts struct {
 }
 
 // Run executes the built scenario: Steps training steps (pipelined when
-// Spec.Overlap), the optional evaluation, and the metric harvest.
+// Spec.Overlap, segmented when the fault plan schedules drop/rejoin
+// events), the optional evaluation, and the metric harvest.
 func (b *Built) Run() (*Result, error) {
 	start := time.Now()
 	rs := b.Spec
+	if rs.Faults != nil && len(rs.Faults.Events) > 0 {
+		return b.runElastic(start)
+	}
 	res := &Result{Spec: rs}
+	ck := newCheckpointer(rs.Checkpoint)
 	if rs.Overlap {
 		losses, err := b.Trainer.RunPipelined(rs.Steps, func(int) *criteo.Batch { return b.Gen.NextBatch(rs.Batch) })
 		if err != nil {
@@ -68,6 +104,9 @@ func (b *Built) Run() (*Result, error) {
 				return nil, err
 			}
 			res.Losses = append(res.Losses, loss)
+			if err := ck.maybe(b.Trainer); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if rs.Eval > 0 {
@@ -75,6 +114,7 @@ func (b *Built) Run() (*Result, error) {
 	}
 	res.CompressionRatio = b.Trainer.CompressionRatio()
 	res.SimTime = profileutil.Breakdown(b.Trainer.Cluster().SimTimes())
+	res.Checkpoints = ck.report()
 	if b.Offline != nil {
 		l, m, s := b.Offline.ClassCounts()
 		res.Offline = &OfflineCounts{L: l, M: m, S: s}
