@@ -18,6 +18,10 @@
 // any metric grew beyond its -threshold-* tolerance (percent growth; a
 // negative tolerance disables that metric). This is what lets CI fail a PR
 // that regresses the step hot path against the committed baseline.
+// Baseline benchmarks missing from the new report are listed as MISSING
+// rows — a renamed benchmark or a drifted run pattern is visible, not a
+// silent pass — and -require-all turns any missing entry into a failure,
+// which is how the CI gate proves it still runs everything it claims to.
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 		"diff: tolerated allocs/op growth in percent (negative disables)")
 	thBytes := flag.Float64("threshold-bytes", benchfmt.DefaultThresholds.BytesPct,
 		"diff: tolerated B/op growth in percent (negative disables)")
+	requireAll := flag.Bool("require-all", false,
+		"diff: fail when any baseline benchmark is missing from the new report")
 	flag.Parse()
 
 	if *diff {
@@ -45,7 +51,7 @@ func main() {
 			NsPct:     *thNs,
 			AllocsPct: *thAllocs,
 			BytesPct:  *thBytes,
-		}))
+		}, *requireAll))
 	}
 
 	rep, err := benchfmt.Parse(os.Stdin)
@@ -80,7 +86,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(rep.Results))
 }
 
-func runDiff(paths []string, th benchfmt.Thresholds) int {
+func runDiff(paths []string, th benchfmt.Thresholds, requireAll bool) int {
 	if len(paths) != 2 {
 		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: old.json new.json")
 		return 2
@@ -108,10 +114,21 @@ func runDiff(paths []string, th benchfmt.Thresholds) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
+	code := 0
 	if regs := benchfmt.Regressions(deltas); len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond tolerance\n", len(regs))
-		return 1
+		code = 1
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d metrics within tolerance\n", len(deltas))
-	return 0
+	if missing := benchfmt.MissingDeltas(deltas); len(missing) > 0 {
+		verdict := "(informational; -require-all makes this fatal)"
+		if requireAll {
+			verdict = "(-require-all)"
+			code = 1
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmark(s) missing from the new report %s\n", len(missing), verdict)
+	}
+	if code == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d metrics within tolerance\n", len(deltas))
+	}
+	return code
 }

@@ -15,6 +15,7 @@
 //	dlrmtrain -topology hier -nodes 8 -ranks-per-node 4        # paper testbed shape
 //	dlrmtrain -topology hier -nodes 8 -overlap                 # comm/compute overlap
 //	dlrmtrain -scenario examples/scenarios/hier8_hybrid.json   # declarative form
+//	dlrmtrain -steps 100 -save model.ckpt                      # export for dlrmserve
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"dlrmcomp/internal/dist"
 	"dlrmcomp/internal/scenario"
 )
 
@@ -48,6 +50,7 @@ func main() {
 	evalN := flag.Int("eval", 4000, "evaluation sample count")
 	codecWorkers := flag.Int("codec-workers", 0, "intra-rank codec worker pool (0 = auto, negative = sequential)")
 	computeWorkers := flag.Int("compute-workers", 0, "intra-rank compute width: goroutines per rank for lookups, MLP matmuls, and the optimizer (0 = auto, 1 = single-threaded; bit-identical at any width)")
+	savePath := flag.String("save", "", "write the trained model as a DLCK checkpoint to this file (servable with dlrmserve)")
 	flag.Parse()
 
 	// Which flags did the user actually pass? Used both to reject workload
@@ -61,7 +64,9 @@ func main() {
 	if *scenarioFile != "" {
 		var conflicts []string
 		for name := range set {
-			if name != "scenario" {
+			// -save names an output artifact, not a workload knob, so it
+			// composes with -scenario.
+			if name != "scenario" && name != "save" {
 				conflicts = append(conflicts, "-"+name)
 			}
 		}
@@ -147,6 +152,22 @@ func main() {
 	}
 	if sp.Codec != "none" {
 		fmt.Printf("forward all-to-all compression ratio: %.2fx\n", res.CompressionRatio)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := built.Trainer.SaveCheckpoint(f, dist.CheckpointOptions{})
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved checkpoint %s: %d -> %d bytes (%.2fx, codec %s)\n",
+			*savePath, stats.RawBytes, stats.WireBytes, stats.Ratio(), dist.DefaultCheckpointCodec)
 	}
 	fmt.Printf("\nsimulated time breakdown:\n%s", res.SimTime.String())
 	if sp.Overlap {

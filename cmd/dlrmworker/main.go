@@ -110,6 +110,24 @@ func main() {
 		fail(1, err)
 	}
 	report(fmt.Sprintf("%d", *rank), res)
+	reportTransport(*rank, ep)
+}
+
+// reportTransport prints one TRANSPORT line per peer when the transport
+// keeps per-peer accounting (the TCP endpoint does; the interface keeps
+// this command decoupled from the concrete type). Bytes include frame
+// headers; micros are wall-clock on the socket — sends time the write
+// calls, receives time only the payload reads, so barrier idle waits
+// don't inflate them.
+func reportTransport(rank int, ep any) {
+	ins, ok := ep.(tcptransport.Instrumented)
+	if !ok {
+		return
+	}
+	for _, ps := range ins.TransportStats() {
+		fmt.Printf("TRANSPORT rank=%d peer=%d sent_bytes=%d recv_bytes=%d sent_frames=%d recv_frames=%d send_micros=%d recv_micros=%d\n",
+			rank, ps.Peer, ps.SentBytes, ps.RecvBytes, ps.SentFrames, ps.RecvFrames, ps.SendMicros, ps.RecvMicros)
+	}
 }
 
 func fail(code int, err error) {

@@ -61,6 +61,14 @@ type Delta struct {
 	Pct float64
 	// Regressed reports whether Pct exceeds the metric's tolerance.
 	Regressed bool
+	// Missing reports a benchmark the baseline has but the new report does
+	// not: the gate's run pattern drifted, a benchmark was renamed without
+	// refreshing the baseline, or a package was dropped from the CI bench
+	// invocation. A missing benchmark produces one Delta with Missing set
+	// (Unit empty, Old carrying the baseline ns/op when recorded); it does
+	// not regress the diff by default, but callers that want a sealed gate
+	// can fail on it (benchjson -require-all).
+	Missing bool
 }
 
 // diffKey joins results across reports. Procs is deliberately excluded: the
@@ -73,8 +81,11 @@ type diffKey struct {
 // Diff compares every benchmark present in both reports over the three
 // tracked metrics, returning one Delta per (benchmark, metric) pair where
 // both sides recorded the metric, sorted by benchmark then unit. Benchmarks
-// present in only one report are skipped — adding or retiring a benchmark
-// must not fail the gate — as is any metric absent on either side.
+// only in the new report are skipped — adding a benchmark must not fail the
+// gate — as is any metric absent on either side. Benchmarks only in the
+// baseline are NOT silently dropped: each produces a Missing delta, so a
+// benchmark that quietly fell out of the CI run pattern shows up in the
+// table instead of passing the gate by absence.
 func Diff(old, new *Report, th Thresholds) []Delta {
 	units := []struct {
 		unit string
@@ -90,8 +101,10 @@ func Diff(old, new *Report, th Thresholds) []Delta {
 		baseline[diffKey{r.Package, r.Name}] = r
 	}
 	var deltas []Delta
+	seen := make(map[diffKey]bool, len(new.Results))
 	for i := range new.Results {
 		nr := &new.Results[i]
+		seen[diffKey{nr.Package, nr.Name}] = true
 		or, ok := baseline[diffKey{nr.Package, nr.Name}]
 		if !ok {
 			continue
@@ -122,6 +135,19 @@ func Diff(old, new *Report, th Thresholds) []Delta {
 			deltas = append(deltas, d)
 		}
 	}
+	for i := range old.Results {
+		or := &old.Results[i]
+		if seen[diffKey{or.Package, or.Name}] {
+			continue
+		}
+		label := or.Name
+		if or.Package != "" {
+			label = or.Package + "." + or.Name
+		}
+		d := Delta{Name: label, Missing: true}
+		d.Old, _ = or.Metric("ns/op")
+		deltas = append(deltas, d)
+	}
 	sort.Slice(deltas, func(i, j int) bool {
 		if deltas[i].Name != deltas[j].Name {
 			return deltas[i].Name < deltas[j].Name
@@ -129,6 +155,18 @@ func Diff(old, new *Report, th Thresholds) []Delta {
 		return deltas[i].Unit < deltas[j].Unit
 	})
 	return deltas
+}
+
+// MissingDeltas filters a Diff result down to the baseline benchmarks the
+// new report never ran.
+func MissingDeltas(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Missing {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Regressions filters a Diff result down to the failing deltas.
@@ -143,9 +181,16 @@ func Regressions(deltas []Delta) []Delta {
 }
 
 // WriteDeltas renders a comparison table for the CI log; regressed rows are
-// flagged with "REGRESSED" so they stand out in a scrollback search.
+// flagged with "REGRESSED" and baseline benchmarks the new run never
+// produced with "MISSING", so both stand out in a scrollback search.
 func WriteDeltas(w io.Writer, deltas []Delta) error {
 	for _, d := range deltas {
+		if d.Missing {
+			if _, err := fmt.Fprintf(w, "%-70s %-10s absent from the new report  MISSING\n", d.Name, "-"); err != nil {
+				return err
+			}
+			continue
+		}
 		flag := ""
 		if d.Regressed {
 			flag = "  REGRESSED"

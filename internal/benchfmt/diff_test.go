@@ -33,10 +33,10 @@ BenchmarkStep_1Rank 	 5	 900000 ns/op	 100000 B/op	 3 allocs/op
 BenchmarkAdded 	 5	 500 ns/op
 `)
 	deltas := Diff(old, cur, DefaultThresholds)
-	// Two matched benchmarks × three metrics; the retired and added
-	// benchmarks must not contribute.
-	if len(deltas) != 6 {
-		t.Fatalf("got %d deltas, want 6: %+v", len(deltas), deltas)
+	// Two matched benchmarks × three metrics, plus one Missing delta for
+	// the retired benchmark; the added benchmark must not contribute.
+	if len(deltas) != 7 {
+		t.Fatalf("got %d deltas, want 7: %+v", len(deltas), deltas)
 	}
 	byKey := map[string]Delta{}
 	for _, d := range deltas {
@@ -59,9 +59,51 @@ BenchmarkAdded 	 5	 500 ns/op
 	if d := byKey[oneRank+"|allocs/op"]; !d.Regressed || !math.IsInf(d.Pct, 1) {
 		t.Fatalf("zero -> nonzero allocs must be an infinite-percent regression: %+v", d)
 	}
+	retired := byKey["dlrmcomp/internal/dist.BenchmarkRetired|"]
+	if !retired.Missing || retired.Regressed || retired.Old != 500 {
+		t.Fatalf("retired benchmark must surface as a non-regressing Missing delta: %+v", retired)
+	}
 	regs := Regressions(deltas)
 	if len(regs) != 3 {
-		t.Fatalf("got %d regressions, want 3: %+v", len(regs), regs)
+		t.Fatalf("got %d regressions, want 3 (Missing is not a regression): %+v", len(regs), regs)
+	}
+	missing := MissingDeltas(deltas)
+	if len(missing) != 1 || missing[0].Name != "dlrmcomp/internal/dist.BenchmarkRetired" {
+		t.Fatalf("got missing %+v, want exactly the retired benchmark", missing)
+	}
+}
+
+// TestDiffReportsMissingBenchmarks pins the failure mode that motivated
+// Missing deltas: a baseline entry absent from the new run used to vanish
+// from the diff entirely, so a benchmark falling out of the CI run pattern
+// passed the gate by omission. Now it must appear in the table (flagged
+// MISSING), stay non-fatal by default, and be countable by callers that
+// want to enforce full coverage.
+func TestDiffReportsMissingBenchmarks(t *testing.T) {
+	old := reportFrom(t, "BenchmarkKept 1 100 ns/op\nBenchmarkDropped 1 250 ns/op\n")
+	cur := reportFrom(t, "BenchmarkKept 1 100 ns/op\n")
+	deltas := Diff(old, cur, DefaultThresholds)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 1 matched ns/op + 1 missing: %+v", len(deltas), deltas)
+	}
+	if len(Regressions(deltas)) != 0 {
+		t.Fatalf("a missing benchmark must not regress the default gate: %+v", deltas)
+	}
+	missing := MissingDeltas(deltas)
+	if len(missing) != 1 || missing[0].Name != "BenchmarkDropped" || missing[0].Old != 250 {
+		t.Fatalf("missing delta wrong: %+v", missing)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "BenchmarkDropped") {
+		t.Fatalf("missing benchmark not flagged in the table:\n%s", out)
+	}
+	// Identical reports: nothing missing.
+	if m := MissingDeltas(Diff(old, old, DefaultThresholds)); len(m) != 0 {
+		t.Fatalf("self-diff reported missing benchmarks: %+v", m)
 	}
 }
 

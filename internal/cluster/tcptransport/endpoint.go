@@ -39,6 +39,8 @@ type endpoint struct {
 	world int
 	conns []net.Conn // by peer rank; conns[rank] is nil
 
+	counters []peerCounters // by peer rank; counters[rank] is unused (self-sends skip the wire)
+
 	inboxes []*inbox // by source rank; inboxes[rank] is the self-send loop
 
 	arrive  chan int      // rank 0: one token per peer arrival (cap world: ≤1 outstanding per peer)
@@ -58,6 +60,7 @@ func newEndpoint(o Options, conns []net.Conn) *endpoint {
 		rank:     o.Rank,
 		world:    o.World,
 		conns:    conns,
+		counters: make([]peerCounters, o.World),
 		inboxes:  make([]*inbox, o.World),
 		arrive:   make(chan int, o.World),
 		release:  make(chan struct{}, 1),
@@ -193,6 +196,7 @@ func (e *endpoint) writeFrame(to int, kind byte, payload []byte) error {
 	hdr[0] = kind
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	c := e.conns[to]
+	t0 := time.Now()
 	if _, err := c.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -201,6 +205,7 @@ func (e *endpoint) writeFrame(to int, kind byte, payload []byte) error {
 			return err
 		}
 	}
+	e.counters[to].countSend(frameHeaderBytes+len(payload), time.Since(t0))
 	return nil
 }
 
@@ -224,13 +229,20 @@ func (e *endpoint) readLoop(from int, c net.Conn) {
 			return
 		}
 		payload := []byte{}
+		var transfer time.Duration
 		if n > 0 {
+			// Only the payload read is timed: the header ReadFull above
+			// blocks for as long as the peer has nothing to say, and that
+			// idle wait is not transfer cost.
 			payload = make([]byte, n)
+			t0 := time.Now()
 			if _, err := io.ReadFull(c, payload); err != nil {
 				e.poison(fmt.Errorf("tcptransport: rank %d truncated frame from rank %d: %w", e.rank, from, err))
 				return
 			}
+			transfer = time.Since(t0)
 		}
+		e.counters[from].countRecv(frameHeaderBytes+int(n), transfer)
 		switch kind {
 		case kData:
 			e.inboxes[from].push(payload)

@@ -1,0 +1,70 @@
+package tcptransport
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// PeerStats is one peer pair's accumulated wire traffic as observed from
+// this endpoint: bytes and frames in each direction (headers included)
+// plus the wall-clock microseconds spent on the socket. SendMicros covers
+// the kernel write calls; RecvMicros covers payload reads only — the time
+// a reader spends blocked waiting for a header is idle time, not transfer
+// time, and counting it would drown the transfer cost in barrier waits.
+type PeerStats struct {
+	Peer                   int
+	SentBytes, RecvBytes   int64
+	SentFrames, RecvFrames int64
+	SendMicros, RecvMicros int64
+}
+
+// Instrumented is the accounting surface a transport may offer.
+// cluster.Transport deliberately stays minimal, so callers that want the
+// per-peer table (cmd/dlrmworker) type-assert against this.
+type Instrumented interface {
+	// TransportStats returns one entry per connected peer, ordered by
+	// rank. Safe to call concurrently with traffic and after Close.
+	TransportStats() []PeerStats
+}
+
+// peerCounters is the hot-path half of PeerStats: independent atomics so
+// the single-writer send path and the per-peer reader goroutine never
+// share a cache line lock.
+type peerCounters struct {
+	sentBytes, recvBytes   atomic.Int64
+	sentFrames, recvFrames atomic.Int64
+	sendMicros, recvMicros atomic.Int64
+}
+
+func (pc *peerCounters) countSend(bytes int, elapsed time.Duration) {
+	pc.sentBytes.Add(int64(bytes))
+	pc.sentFrames.Add(1)
+	pc.sendMicros.Add(elapsed.Microseconds())
+}
+
+func (pc *peerCounters) countRecv(bytes int, elapsed time.Duration) {
+	pc.recvBytes.Add(int64(bytes))
+	pc.recvFrames.Add(1)
+	pc.recvMicros.Add(elapsed.Microseconds())
+}
+
+// TransportStats implements Instrumented.
+func (e *endpoint) TransportStats() []PeerStats {
+	out := make([]PeerStats, 0, e.world-1)
+	for r := range e.counters {
+		if e.conns[r] == nil {
+			continue
+		}
+		pc := &e.counters[r]
+		out = append(out, PeerStats{
+			Peer:       r,
+			SentBytes:  pc.sentBytes.Load(),
+			RecvBytes:  pc.recvBytes.Load(),
+			SentFrames: pc.sentFrames.Load(),
+			RecvFrames: pc.recvFrames.Load(),
+			SendMicros: pc.sendMicros.Load(),
+			RecvMicros: pc.recvMicros.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package criteo
+
+import (
+	"math"
+	"testing"
+
+	"dlrmcomp/internal/tensor"
+)
+
+// zipfHist draws n samples and returns the per-value counts.
+func zipfHist(t *testing.T, seed uint64, s float64, card uint64, n int) []int {
+	t.Helper()
+	z := NewZipf(tensor.NewRNG(seed), s, card)
+	counts := make([]int, card)
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k >= card {
+			t.Fatalf("sample %d out of range [0, %d)", k, card)
+		}
+		counts[k]++
+	}
+	return counts
+}
+
+// TestZipfHeadMass compares the empirical mass of the head (the first few
+// values) against the exact bounded-Zipf probabilities P(k) ∝ 1/(1+k)^s.
+// This is the property the serving layer's hot cache banks on: under the
+// dataset's default skew a tiny head carries most of the traffic.
+func TestZipfHeadMass(t *testing.T) {
+	const (
+		card = 10000
+		n    = 200000
+		s    = 1.2 // KaggleSpec's default skew
+	)
+	counts := zipfHist(t, 7, s, card, n)
+
+	// Exact normalizer over the bounded support.
+	var z float64
+	for k := 0; k < card; k++ {
+		z += math.Pow(float64(1+k), -s)
+	}
+	for _, head := range []int{1, 10, 100} {
+		var want float64
+		for k := 0; k < head; k++ {
+			want += math.Pow(float64(1+k), -s) / z
+		}
+		got := 0
+		for k := 0; k < head; k++ {
+			got += counts[k]
+		}
+		emp := float64(got) / n
+		if d := math.Abs(emp - want); d > 0.01 {
+			t.Errorf("head %d: empirical mass %.4f vs exact %.4f (|Δ| = %.4f > 0.01)", head, emp, want, d)
+		}
+	}
+}
+
+// TestZipfSkewMonotonic checks that raising s concentrates more mass on the
+// single hottest value — the knob the load benchmarks turn.
+func TestZipfSkewMonotonic(t *testing.T) {
+	const (
+		card = 1000
+		n    = 100000
+	)
+	prev := -1
+	for _, s := range []float64{1.1, 1.5, 2.0} {
+		counts := zipfHist(t, 11, s, card, n)
+		if counts[0] <= prev {
+			t.Fatalf("skew %.1f: value 0 drew %d samples, not above the %d at the lower skew", s, counts[0], prev)
+		}
+		prev = counts[0]
+	}
+}
+
+// TestZipfDeterminism pins the reproducibility contract: the same seed
+// yields the same stream (bit-identical training and serving workloads),
+// a different seed a different one.
+func TestZipfDeterminism(t *testing.T) {
+	draw := func(seed uint64) []uint64 {
+		z := NewZipf(tensor.NewRNG(seed), 1.2, 1<<20)
+		out := make([]uint64, 512)
+		for i := range out {
+			out[i] = z.Next()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs under the same seed: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical stream")
+	}
+}
+
+// TestZipfDegenerateAndInvalid covers the support edges: a single-row
+// table is the constant 0, and the constructor rejects non-Zipf skews and
+// empty supports loudly rather than sampling garbage.
+func TestZipfDegenerateAndInvalid(t *testing.T) {
+	z := NewZipf(tensor.NewRNG(1), 1.5, 1)
+	for i := 0; i < 100; i++ {
+		if k := z.Next(); k != 0 {
+			t.Fatalf("card 1 sampled %d, want constant 0", k)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		s    float64
+		card uint64
+	}{
+		{"skew_one", 1, 10},
+		{"skew_below_one", 0.5, 10},
+		{"zero_card", 1.2, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(s=%v, card=%d) did not panic", tc.s, tc.card)
+				}
+			}()
+			NewZipf(tensor.NewRNG(1), tc.s, tc.card)
+		})
+	}
+}

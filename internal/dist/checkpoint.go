@@ -211,6 +211,88 @@ func (t *Trainer) SaveCheckpoint(w io.Writer, opts CheckpointOptions) (Checkpoin
 	return stats, nil
 }
 
+// ckptHeader is a decoded checkpoint header: everything before the weight
+// frames, shared by RestoreCheckpoint (which checks it against a live
+// trainer) and ReadCheckpoint (which hands the shapes to the caller).
+type ckptHeader struct {
+	cdc                   codec.Codec // nil = raw frames
+	iter, fwdRaw, fwdComp uint64
+	dim                   int
+	rows                  []int // per-table row counts
+	denseLens             []int // per-dense-tensor value counts
+	ctrl                  *adapt.Controller
+}
+
+// readCkptHeader decodes the magic, version, codec, accounting, shape
+// block, and optional controller block from d.
+func readCkptHeader(d *ckptReader) (*ckptHeader, error) {
+	var magic [4]byte
+	d.bytes(magic[:])
+	version, codecID, flags, _ := d.u8(), d.u8(), d.u8(), d.u8()
+	if d.err != nil {
+		return nil, fmt.Errorf("dist: checkpoint header: %w", d.err)
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("dist: not a checkpoint (magic %q)", magic[:])
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("dist: checkpoint version %d, this build reads %d", version, ckptVersion)
+	}
+	cdc, err := ckptCodecByID(codecID)
+	if err != nil {
+		return nil, err
+	}
+	h := &ckptHeader{cdc: cdc}
+	h.iter = d.u64()
+	h.fwdRaw = d.u64()
+	h.fwdComp = d.u64()
+	h.dim = int(d.u32())
+	h.rows = make([]int, int(d.u32()))
+	for i := range h.rows {
+		h.rows[i] = int(d.u32())
+	}
+	h.denseLens = make([]int, int(d.u32()))
+	for i := range h.denseLens {
+		h.denseLens[i] = int(d.u32())
+	}
+	if flags&ckptHasController != 0 {
+		h.ctrl = &adapt.Controller{
+			Schedule:    adapt.Schedule(d.u8()),
+			PhaseLen:    int(d.u32()),
+			StartFactor: math.Float64frombits(d.u64()),
+		}
+		h.ctrl.BaseEB = make([]float32, d.u32())
+		for i := range h.ctrl.BaseEB {
+			h.ctrl.BaseEB[i] = math.Float32frombits(d.u32())
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("dist: checkpoint header: %w", d.err)
+	}
+	return h, nil
+}
+
+// readCkptFrame reads one length-prefixed weight frame and decodes it into
+// dst through the header's codec.
+func (h *ckptHeader) readFrame(d *ckptReader, dst []float32) error {
+	n := int(d.u32())
+	if d.err != nil {
+		return d.err
+	}
+	frame := make([]byte, n)
+	d.bytes(frame)
+	if d.err != nil {
+		return d.err
+	}
+	if h.cdc == nil {
+		return bytesToFloats(dst, frame)
+	}
+	if _, err := codec.DecompressInto(h.cdc, dst, frame); err != nil {
+		return err
+	}
+	return nil
+}
+
 // RestoreCheckpoint loads a checkpoint into the trainer, overwriting the
 // embedding shards, every MLP replica's parameters (gradients are
 // zeroed), the controller configuration, and the step counter. The
@@ -224,72 +306,39 @@ func (t *Trainer) RestoreCheckpoint(r io.Reader) error {
 		return fmt.Errorf("dist: RestoreCheckpoint needs every rank in-process; this trainer hosts %d of %d ranks", len(t.cl.Local()), t.opts.Ranks)
 	}
 	d := &ckptReader{r: r}
-	var magic [4]byte
-	d.bytes(magic[:])
-	version, codecID, flags, _ := d.u8(), d.u8(), d.u8(), d.u8()
-	if d.err != nil {
-		return fmt.Errorf("dist: checkpoint header: %w", d.err)
-	}
-	if magic != ckptMagic {
-		return fmt.Errorf("dist: not a checkpoint (magic %q)", magic[:])
-	}
-	if version != ckptVersion {
-		return fmt.Errorf("dist: checkpoint version %d, this build reads %d", version, ckptVersion)
-	}
-	cdc, err := ckptCodecByID(codecID)
+	h, err := readCkptHeader(d)
 	if err != nil {
 		return err
 	}
 
-	iter := d.u64()
-	fwdRaw := d.u64()
-	fwdComp := d.u64()
-
-	dim := int(d.u32())
-	numTables := int(d.u32())
 	tables := t.tmpl.Emb.Tables
-	if d.err == nil && (dim != t.opts.Model.EmbeddingDim || numTables != len(tables)) {
+	if h.dim != t.opts.Model.EmbeddingDim || len(h.rows) != len(tables) {
 		return fmt.Errorf("dist: checkpoint shape dim=%d tables=%d does not match the model's dim=%d tables=%d",
-			dim, numTables, t.opts.Model.EmbeddingDim, len(tables))
+			h.dim, len(h.rows), t.opts.Model.EmbeddingDim, len(tables))
 	}
-	for i := 0; i < numTables && d.err == nil; i++ {
-		if rows := int(d.u32()); rows != tables[i].NumRows {
+	for i, rows := range h.rows {
+		if rows != tables[i].NumRows {
 			return fmt.Errorf("dist: checkpoint table %d has %d rows, the model has %d", i, rows, tables[i].NumRows)
 		}
 	}
 	params := t.replicas[0].m.DenseParams()
-	numDense := int(d.u32())
-	if d.err == nil && numDense != len(params) {
-		return fmt.Errorf("dist: checkpoint carries %d dense tensors, the model has %d", numDense, len(params))
+	if len(h.denseLens) != len(params) {
+		return fmt.Errorf("dist: checkpoint carries %d dense tensors, the model has %d", len(h.denseLens), len(params))
 	}
-	for i := 0; i < numDense && d.err == nil; i++ {
-		if n := int(d.u32()); n != len(params[i].Value) {
+	for i, n := range h.denseLens {
+		if n != len(params[i].Value) {
 			return fmt.Errorf("dist: checkpoint dense tensor %d has %d values, the model has %d", i, n, len(params[i].Value))
 		}
 	}
 
-	var ctrl *adapt.Controller
-	if flags&ckptHasController != 0 {
-		ctrl = &adapt.Controller{
-			Schedule:    adapt.Schedule(d.u8()),
-			PhaseLen:    int(d.u32()),
-			StartFactor: math.Float64frombits(d.u64()),
-		}
-		ctrl.BaseEB = make([]float32, d.u32())
-		for i := range ctrl.BaseEB {
-			ctrl.BaseEB[i] = math.Float32frombits(d.u32())
-		}
-	}
-	if d.err != nil {
-		return fmt.Errorf("dist: checkpoint header: %w", d.err)
-	}
+	ctrl := h.ctrl
 	switch {
 	case ctrl != nil && t.opts.Controller == nil:
 		return fmt.Errorf("dist: checkpoint carries adaptive controller state but the trainer has no controller")
 	case ctrl == nil && t.opts.Controller != nil:
 		return fmt.Errorf("dist: the trainer has an adaptive controller but the checkpoint carries no controller state")
-	case ctrl != nil && len(ctrl.BaseEB) != numTables:
-		return fmt.Errorf("dist: checkpoint controller covers %d tables, the model has %d", len(ctrl.BaseEB), numTables)
+	case ctrl != nil && len(ctrl.BaseEB) != len(tables):
+		return fmt.Errorf("dist: checkpoint controller covers %d tables, the model has %d", len(ctrl.BaseEB), len(tables))
 	}
 
 	// Shape verified; now the payload frames. Reads land directly in the
@@ -297,31 +346,13 @@ func (t *Trainer) RestoreCheckpoint(r io.Reader) error {
 	// stream cannot leave the trainer half-restored... except for frames
 	// already applied — restore is not transactional across frames, and
 	// callers treat a restore error as fatal to the trainer.
-	readBlob := func(dst []float32) error {
-		n := int(d.u32())
-		if d.err != nil {
-			return d.err
-		}
-		frame := make([]byte, n)
-		d.bytes(frame)
-		if d.err != nil {
-			return d.err
-		}
-		if cdc == nil {
-			return bytesToFloats(dst, frame)
-		}
-		if _, err := codec.DecompressInto(cdc, dst, frame); err != nil {
-			return err
-		}
-		return nil
-	}
 	for i, p := range params {
-		if err := readBlob(p.Value); err != nil {
+		if err := h.readFrame(d, p.Value); err != nil {
 			return fmt.Errorf("dist: checkpoint dense tensor %d: %w", i, err)
 		}
 	}
 	for i, tab := range tables {
-		if err := readBlob(tab.Weights.Data); err != nil {
+		if err := h.readFrame(d, tab.Weights.Data); err != nil {
 			return fmt.Errorf("dist: checkpoint table %d: %w", i, err)
 		}
 	}
@@ -342,10 +373,63 @@ func (t *Trainer) RestoreCheckpoint(r io.Reader) error {
 		c.Schedule, c.PhaseLen, c.StartFactor = ctrl.Schedule, ctrl.PhaseLen, ctrl.StartFactor
 		copy(c.BaseEB, ctrl.BaseEB)
 	}
-	t.iter = int(iter)
-	t.fwdRawBytes = int64(fwdRaw)
-	t.fwdCompBytes = int64(fwdComp)
+	t.iter = int(h.iter)
+	t.fwdRawBytes = int64(h.fwdRaw)
+	t.fwdCompBytes = int64(h.fwdComp)
 	return nil
+}
+
+// CheckpointData is a checkpoint decoded into plain buffers, shapes and
+// all — the train→serve handoff: the serving layer loads embedding shards
+// and MLP parameters from a DLCK stream without constructing a trainer
+// (and without a transport, controller, or gradient state). Tables[t] is
+// the row-major [TableRows[t] × Dim] weight matrix of table t; Dense holds
+// the MLP parameter tensors in model.DLRM.DenseParams order.
+type CheckpointData struct {
+	// Iter is the step count the checkpoint was saved at.
+	Iter int
+	// Dim is the embedding dimension.
+	Dim int
+	// TableRows is the per-table row count.
+	TableRows []int
+	// Dense holds the dense (MLP) parameter tensors, in DenseParams order.
+	Dense [][]float32
+	// Tables holds the per-table embedding weights, row-major.
+	Tables [][]float32
+}
+
+// ReadCheckpoint decodes a full checkpoint stream into fresh buffers. It
+// accepts exactly what SaveCheckpoint writes — same magic, version, codec
+// menu, and frame layout as RestoreCheckpoint — but binds to no trainer:
+// the caller checks the shapes against whatever model it is assembling.
+// Checkpoints with an adaptive-controller block load fine; the controller
+// configuration is training state and is not surfaced here.
+func ReadCheckpoint(r io.Reader) (*CheckpointData, error) {
+	d := &ckptReader{r: r}
+	h, err := readCkptHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	ck := &CheckpointData{
+		Iter:      int(h.iter),
+		Dim:       h.dim,
+		TableRows: h.rows,
+		Dense:     make([][]float32, len(h.denseLens)),
+		Tables:    make([][]float32, len(h.rows)),
+	}
+	for i, n := range h.denseLens {
+		ck.Dense[i] = make([]float32, n)
+		if err := h.readFrame(d, ck.Dense[i]); err != nil {
+			return nil, fmt.Errorf("dist: checkpoint dense tensor %d: %w", i, err)
+		}
+	}
+	for i, rows := range h.rows {
+		ck.Tables[i] = make([]float32, rows*h.dim)
+		if err := h.readFrame(d, ck.Tables[i]); err != nil {
+			return nil, fmt.Errorf("dist: checkpoint table %d: %w", i, err)
+		}
+	}
+	return ck, nil
 }
 
 // Iter returns how many steps the trainer has taken (restored by

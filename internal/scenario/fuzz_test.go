@@ -51,6 +51,7 @@ func FuzzSpecRoundTrip(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"steps": 10, "faults": {"jitter": 0.5, "slow": [{"rank": 0, "factor": 2}]}}`))
 	f.Add([]byte(`{"checkpoint": {"every": 3, "codec": "deflate", "verify": true}}`))
+	f.Add([]byte(`{"serve": {"shards": 2, "codec": "quant", "quant_eb": 0.02, "hot_bytes": -1}}`))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		var s Spec

@@ -12,6 +12,7 @@ import (
 	"dlrmcomp/internal/criteo"
 	"dlrmcomp/internal/dist"
 	"dlrmcomp/internal/netmodel"
+	"dlrmcomp/internal/serve"
 )
 
 // Spec declares one training scenario. The zero value of every field means
@@ -137,6 +138,44 @@ type Spec struct {
 	Faults *cluster.FaultPlan `json:"faults,omitempty"`
 	// Checkpoint, when non-nil, checkpoints the trainer during the run.
 	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
+	// Serve, when non-nil, configures the inference serving layer built
+	// from this scenario's trained model (cmd/dlrmserve, the loadtest
+	// experiment). Training ignores it.
+	Serve *ServeSpec `json:"serve,omitempty"`
+}
+
+// ServeSpec configures internal/serve for a scenario's model: how the
+// embedding tables shard, how the cold tier compresses, how large the hot
+// cache runs, and how the micro-batching service admits load. The zero
+// value of every field means the serve package's documented default.
+type ServeSpec struct {
+	// Shards is the embedding-server count (0 = 1).
+	Shards int `json:"shards,omitempty"`
+	// Codec is the cold-tier frame codec: "raw" (default), "lzss",
+	// "deflate" (lossless — serving scores are bit-identical to
+	// uncompressed tables), or "quant" (lossy, bounded by QuantEB).
+	Codec string `json:"codec,omitempty"`
+	// QuantEB is the absolute error bound of the "quant" codec. Required
+	// (> 0) with codec "quant", rejected otherwise.
+	QuantEB float64 `json:"quant_eb,omitempty"`
+	// BlockRows is the cold-frame granularity in rows (0 = 64).
+	BlockRows int `json:"block_rows,omitempty"`
+	// HotBytes budgets the decoded-row hot cache (0 = a quarter of the
+	// uncompressed footprint; negative = no cache).
+	HotBytes int64 `json:"hot_bytes,omitempty"`
+	// MaxBatch and LingerUS close a micro-batch on size (0 = 64) or
+	// microseconds since its first request (0 = 200).
+	MaxBatch int `json:"max_batch,omitempty"`
+	LingerUS int `json:"linger_us,omitempty"`
+	// QueueDepth bounds the intake queue (0 = 4×MaxBatch); Workers is the
+	// batcher count (0 = 1).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	Workers    int `json:"workers,omitempty"`
+	// Requests and Clients size the closed-loop load drivers
+	// (cmd/dlrmserve, the loadtest experiment): total requests issued
+	// (0 = driver default) by this many concurrent clients (0 = 8).
+	Requests int `json:"requests,omitempty"`
+	Clients  int `json:"clients,omitempty"`
 }
 
 // CheckpointSpec configures in-run checkpointing. Checkpoints serialize to
@@ -185,6 +224,16 @@ var codecNames = map[string]bool{
 var checkpointCodecNames = func() map[string]bool {
 	m := map[string]bool{"": true}
 	for _, n := range dist.CheckpointCodecs() {
+		m[n] = true
+	}
+	return m
+}()
+
+// serveCodecNames is every accepted ServeSpec.Codec value, taken from the
+// serve layer's menu so the two cannot drift ("" = the default).
+var serveCodecNames = func() map[string]bool {
+	m := map[string]bool{"": true}
+	for _, n := range serve.ColdCodecs() {
 		m[n] = true
 	}
 	return m
@@ -344,6 +393,37 @@ func (s Spec) Validate() error {
 		}
 	}
 
+	// Serving.
+	if sv := s.Serve; sv != nil {
+		if !serveCodecNames[sv.Codec] {
+			add("unknown serve codec %q (want raw, lzss, deflate, or quant)", sv.Codec)
+		}
+		for _, f := range []struct {
+			name string
+			v    int
+		}{
+			{"serve shards", sv.Shards}, {"serve block_rows", sv.BlockRows},
+			{"serve max_batch", sv.MaxBatch}, {"serve linger_us", sv.LingerUS},
+			{"serve queue_depth", sv.QueueDepth}, {"serve workers", sv.Workers},
+			{"serve requests", sv.Requests}, {"serve clients", sv.Clients},
+		} {
+			if f.v < 0 {
+				add("%s must be >= 0, got %d", f.name, f.v)
+			}
+		}
+		// HotBytes stays unchecked: negative is the documented
+		// "no hot cache" setting.
+		if sv.QuantEB < 0 {
+			add("serve quant_eb must be >= 0, got %v", sv.QuantEB)
+		}
+		if sv.Codec == "quant" && sv.QuantEB == 0 {
+			add("serve codec %q is lossy; set quant_eb > 0", sv.Codec)
+		}
+		if sv.Codec != "quant" && sv.QuantEB > 0 {
+			add("serve quant_eb is the \"quant\" codec's knob; codec %q does not quantize", sv.Codec)
+		}
+	}
+
 	// Codec / adaptive consistency.
 	codecName := s.Codec
 	if codecName == "" {
@@ -442,6 +522,12 @@ func (s Spec) Resolved() (Spec, error) {
 		c := *s.Checkpoint
 		c.Codec = dist.DefaultCheckpointCodec
 		s.Checkpoint = &c
+	}
+	if s.Serve != nil && s.Serve.Codec == "" {
+		// Same pointer-clone discipline as Checkpoint above.
+		sv := *s.Serve
+		sv.Codec = serve.DefaultColdCodec
+		s.Serve = &sv
 	}
 	return s, nil
 }

@@ -59,6 +59,11 @@ func fullSpec() Spec {
 			},
 		},
 		Checkpoint: &CheckpointSpec{Every: 5, Codec: "lzss", Verify: true},
+		Serve: &ServeSpec{
+			Shards: 2, Codec: "quant", QuantEB: 0.02, BlockRows: 32,
+			HotBytes: 1 << 20, MaxBatch: 32, LingerUS: 100,
+			QueueDepth: 256, Workers: 2, Requests: 5000, Clients: 8,
+		},
 	}
 }
 
@@ -171,6 +176,29 @@ func TestValidate(t *testing.T) {
 			Spec{Overlap: true, Checkpoint: &CheckpointSpec{Every: 5}},
 			[]string{"checkpoints cannot overlap"},
 		},
+		{"served run", Spec{Steps: 10, Serve: &ServeSpec{Codec: "lzss", Shards: 4}}, nil},
+		{"served run with quant", Spec{Serve: &ServeSpec{Codec: "quant", QuantEB: 0.01}}, nil},
+		{"served run with disabled cache", Spec{Serve: &ServeSpec{HotBytes: -1}}, nil},
+		{
+			"unknown serve codec",
+			Spec{Serve: &ServeSpec{Codec: "zstd"}},
+			[]string{"unknown serve codec"},
+		},
+		{
+			"serve quant without eb",
+			Spec{Serve: &ServeSpec{Codec: "quant"}},
+			[]string{"set quant_eb > 0"},
+		},
+		{
+			"serve eb without quant",
+			Spec{Serve: &ServeSpec{Codec: "lzss", QuantEB: 0.01}},
+			[]string{"does not quantize"},
+		},
+		{
+			"negative serve knobs",
+			Spec{Serve: &ServeSpec{Shards: -1, Workers: -2}},
+			[]string{"serve shards must be >= 0", "serve workers must be >= 0"},
+		},
 		{
 			"multiple errors reported together",
 			Spec{Dataset: "movielens", Codec: "zstd", Steps: -3, Ranks: 8, Nodes: 4, RanksPerNode: 8, Topology: "hier"},
@@ -259,6 +287,24 @@ func TestResolvedCheckpointCodecDefault(t *testing.T) {
 	}
 	if orig.Checkpoint.Codec != "" {
 		t.Fatal("Resolved mutated the caller's Checkpoint through the shared pointer")
+	}
+}
+
+func TestResolvedServeCodecDefault(t *testing.T) {
+	orig := Spec{Steps: 10, Serve: &ServeSpec{Shards: 2}}
+	rs, err := orig.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Serve.Codec != "raw" {
+		t.Fatalf("serve codec = %q, want the raw default", rs.Serve.Codec)
+	}
+	if orig.Serve.Codec != "" {
+		t.Fatal("Resolved mutated the caller's Serve through the shared pointer")
+	}
+	opts := rs.ServeOptions()
+	if opts.Shards != 2 || opts.ColdCodec != "raw" {
+		t.Fatalf("ServeOptions = %+v, want shards 2 with the raw codec", opts)
 	}
 }
 

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+
+	"dlrmcomp/internal/criteo"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/testutil"
+)
+
+// TestScoreBatchAllocsSteadyState is the allocs/op regression gate for the
+// serving hot path (it runs in the quick suite; CI fails if workspace or
+// cache-slab reuse regresses). The bound is zero: with single-threaded
+// kernels every matrix, gather buffer, and LRU structure is preallocated,
+// and both the hit path (slab copy) and the miss path (buffered block
+// decode) stay off the heap.
+func TestScoreBatchAllocsSteadyState(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc pins are meaningless under the race detector (instrumented allocations, dropped pools)")
+	}
+	spec := testSpec()
+	cfg := testConfig(spec, 8)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts Options
+		max  float64
+	}{
+		// Hit-dominated: default cache, raw frames.
+		{"raw_cached", Options{ColdCodec: "raw"}, 0},
+		// Miss-every-row: no cache, every lookup decodes a quant block
+		// through the hybrid codec's buffered path. sync.Pool can drop a
+		// workspace across a GC mid-run, so a small non-zero bound.
+		{"quant_uncached", Options{ColdCodec: "quant", QuantEB: 0.02, HotBytes: -1}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewFromModel(m, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			gen := criteo.NewGenerator(spec)
+			// A batch small enough that every matmul stays under any
+			// parallel threshold; ComputeWorkers defaults to 1 anyway.
+			b := gen.NextBatch(16)
+			out := make([]float32, 16)
+			for i := 0; i < 3; i++ { // warm the lazily-grown workspaces
+				if err := srv.ScoreBatch(b.Dense, b.Indices, out); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := srv.ScoreBatch(b.Dense, b.Indices, out); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.max {
+				t.Fatalf("ScoreBatch allocates %.1f objects per call in steady state, want <= %v", allocs, tc.max)
+			}
+		})
+	}
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlrmcomp/internal/dist"
+	"dlrmcomp/internal/interaction"
+	"dlrmcomp/internal/model"
+	"dlrmcomp/internal/nn"
+	"dlrmcomp/internal/tensor"
+)
+
+// Options configures a Server. The zero value of every field means "use
+// the documented default".
+type Options struct {
+	// Shards is the embedding-server count; table t lives on shard
+	// t % Shards, the same round-robin placement internal/dist uses for
+	// ranks. 0 = 1.
+	Shards int
+	// ColdCodec names the cold-tier frame codec: "raw" (default),
+	// "lzss", "deflate" (lossless — serving scores are bit-identical to
+	// uncompressed tables), or "quant" (lossy: rows quantized through
+	// the hybrid codec within QuantEB; verified against the source
+	// weights at load time).
+	ColdCodec string
+	// QuantEB is the absolute error bound of the "quant" cold codec.
+	// Required (> 0) with ColdCodec "quant", rejected otherwise.
+	QuantEB float32
+	// BlockRows is the cold-frame granularity in rows (0 = 64). A miss
+	// decodes one block; smaller blocks cut miss latency, larger ones
+	// compress better.
+	BlockRows int
+	// HotBytes budgets the hot cache of decoded rows, in bytes across
+	// all shards. 0 = a quarter of the uncompressed table footprint;
+	// negative = no hot cache (every lookup decodes its block — the
+	// uncached reference path the parity tests compare against).
+	HotBytes int64
+	// MaxBatch closes a micro-batch when this many requests have
+	// coalesced (0 = 64).
+	MaxBatch int
+	// Linger closes a non-full micro-batch this long after its first
+	// request (0 = 200µs). The knob trades p50 latency against batching
+	// efficiency.
+	Linger time.Duration
+	// QueueDepth bounds the intake queue; a Score arriving with the
+	// queue full is shed with ErrOverloaded instead of queueing without
+	// bound. 0 = 4×MaxBatch.
+	QueueDepth int
+	// Workers is the batcher-goroutine count, each with its own scorer
+	// workspace (0 = 1).
+	Workers int
+	// ComputeWorkers is the intra-op parallel width of each scorer's
+	// matmuls (0 = 1). Serving scales by request concurrency (Workers,
+	// Shards), so single-threaded kernels — which also keep the request
+	// path allocation-free — are the right default; raise this only for
+	// very large micro-batches.
+	ComputeWorkers int
+}
+
+// resolved fills the documented defaults; rawBytes is the uncompressed
+// table footprint HotBytes defaults against.
+func (o Options) resolved(rawBytes int64) Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.ColdCodec == "" {
+		o.ColdCodec = DefaultColdCodec
+	}
+	if o.BlockRows <= 0 {
+		o.BlockRows = 64
+	}
+	if o.HotBytes == 0 {
+		o.HotBytes = rawBytes / 4
+	}
+	if o.HotBytes < 0 {
+		o.HotBytes = 0
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.Linger <= 0 {
+		o.Linger = 200 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.MaxBatch
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.ComputeWorkers <= 0 {
+		o.ComputeWorkers = 1
+	}
+	return o
+}
+
+// Server scores requests against a checkpointed DLRM: sharded two-tier
+// embedding stores plus per-worker MLP/interaction workspaces. ScoreBatch
+// is the synchronous path (caller-assembled batches); Score is the
+// admission-controlled micro-batching path. Both are safe for concurrent
+// use.
+type Server struct {
+	cfg  model.Config
+	opts Options
+
+	shards  []*shard
+	byTable []*shard // table id -> owning shard
+	scorers chan *scorer
+
+	intake  chan *pending
+	pool    sync.Pool
+	workers chan struct{} // exited-worker tokens for Close to join
+	closeMu sync.RWMutex
+	closed  bool
+
+	requests atomic.Int64
+	shed     atomic.Int64
+}
+
+// scorer is one worker's private forward-pass workspace: MLP clones and a
+// DotInteraction (their scratch matrices are layer-owned and not
+// goroutine-safe), plus reused gather/batch buffers.
+type scorer struct {
+	bottom, top *nn.MLP
+	di          *interaction.DotInteraction
+	lookups     []*tensor.Matrix
+	dense       *tensor.Matrix
+	cols        [][]int32
+	out         []float32
+}
+
+// New loads a Server from a DLCK checkpoint stream. cfg must describe the
+// model the checkpoint was saved from (dim, table sizes, MLP widths) —
+// the checkpoint carries shapes and weights, not architecture — and is
+// verified against the decoded shapes.
+func New(cfg model.Config, r io.Reader, opts Options) (*Server, error) {
+	ck, err := dist.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Dim != cfg.EmbeddingDim || len(ck.TableRows) != len(cfg.TableSizes) {
+		return nil, fmt.Errorf("serve: checkpoint shape dim=%d tables=%d does not match the config's dim=%d tables=%d",
+			ck.Dim, len(ck.TableRows), cfg.EmbeddingDim, len(cfg.TableSizes))
+	}
+	for t, rows := range ck.TableRows {
+		if rows != cfg.TableSizes[t] {
+			return nil, fmt.Errorf("serve: checkpoint table %d has %d rows, the config has %d", t, rows, cfg.TableSizes[t])
+		}
+	}
+	return newServer(cfg, ck.Dense, ck.Tables, opts)
+}
+
+// NewFromModel builds a Server directly from a trained in-memory model —
+// the same assembly as New without the checkpoint round trip. The model's
+// weights are copied; the server holds no reference to m afterwards.
+func NewFromModel(m *model.DLRM, opts Options) (*Server, error) {
+	params := m.DenseParams()
+	dense := make([][]float32, len(params))
+	for i, p := range params {
+		dense[i] = p.Value
+	}
+	tables := make([][]float32, len(m.Emb.Tables))
+	for t, tab := range m.Emb.Tables {
+		tables[t] = tab.Weights.Data
+	}
+	return newServer(m.Cfg, dense, tables, opts)
+}
+
+func newServer(cfg model.Config, dense [][]float32, tables [][]float32, opts Options) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var rawBytes int64
+	for _, rows := range cfg.TableSizes {
+		rawBytes += int64(rows) * int64(cfg.EmbeddingDim) * 4
+	}
+	opts = opts.resolved(rawBytes)
+	if opts.ColdCodec != "quant" && opts.QuantEB != 0 {
+		return nil, fmt.Errorf("serve: QuantEB is the %q codec's knob; cold codec %q does not quantize", "quant", opts.ColdCodec)
+	}
+	cc, err := coldCodecByName(opts.ColdCodec, opts.QuantEB)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{cfg: cfg, opts: opts}
+
+	// The MLP stack: build a throwaway model for its layer shapes (with
+	// 1-row tables, so no real embedding storage), then overwrite every
+	// dense parameter from the checkpoint. Init values never survive, so
+	// the RNG stream does not need to match training's.
+	shapeCfg := cfg
+	shapeCfg.TableSizes = make([]int, len(cfg.TableSizes))
+	for i := range shapeCfg.TableSizes {
+		shapeCfg.TableSizes[i] = 1
+	}
+	shapeCfg.InitCardinalities = nil
+	tmpl, err := model.New(shapeCfg)
+	if err != nil {
+		return nil, err
+	}
+	params := tmpl.DenseParams()
+	if len(dense) != len(params) {
+		return nil, fmt.Errorf("serve: checkpoint carries %d dense tensors, the config's MLPs have %d", len(dense), len(params))
+	}
+	for i, p := range params {
+		if len(dense[i]) != len(p.Value) {
+			return nil, fmt.Errorf("serve: checkpoint dense tensor %d has %d values, the config's MLPs have %d", i, len(dense[i]), len(p.Value))
+		}
+		copy(p.Value, dense[i])
+	}
+
+	// Shards and stores. The hot-cache byte budget splits evenly across
+	// shards (each shard's cache is private to its mutex domain).
+	numTables := len(cfg.TableSizes)
+	dim := cfg.EmbeddingDim
+	perShard := opts.HotBytes / int64(opts.Shards)
+	s.shards = make([]*shard, opts.Shards)
+	s.byTable = make([]*shard, numTables)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			tables: make([]*tableStore, numTables),
+			cc:     cc,
+			hot:    newHotCache(int(perShard/(int64(dim)*4)), dim),
+			block:  make([]float32, opts.BlockRows*dim),
+		}
+	}
+	for t, rows := range cfg.TableSizes {
+		if len(tables[t]) != rows*dim {
+			return nil, fmt.Errorf("serve: table %d carries %d values, want %d", t, len(tables[t]), rows*dim)
+		}
+		sh := s.shards[t%opts.Shards]
+		ts, err := newTableStore(t, tables[t], rows, dim, opts.BlockRows, cc)
+		if err != nil {
+			return nil, err
+		}
+		sh.tables[t] = ts
+		s.byTable[t] = sh
+		if cc.name == "quant" {
+			if err := verifyQuantBlock(ts, tables[t], cc, opts.QuantEB); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Scorer pool: one per worker plus a spare for synchronous
+	// ScoreBatch callers.
+	s.scorers = make(chan *scorer, opts.Workers+1)
+	for i := 0; i < opts.Workers+1; i++ {
+		sc := &scorer{
+			bottom:  tmpl.Bottom.Clone(),
+			top:     tmpl.Top.Clone(),
+			di:      interaction.NewDotInteraction(numTables, dim),
+			lookups: make([]*tensor.Matrix, numTables),
+			cols:    make([][]int32, numTables),
+		}
+		sc.bottom.SetWorkers(opts.ComputeWorkers)
+		sc.top.SetWorkers(opts.ComputeWorkers)
+		sc.di.Workers = opts.ComputeWorkers
+		s.scorers <- sc
+	}
+
+	// Micro-batching service.
+	s.intake = make(chan *pending, opts.QueueDepth)
+	s.workers = make(chan struct{}, opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// verifyQuantBlock is the lossy mode's load-time accuracy check: the first
+// block of every table is decoded and compared against the source weights
+// under the configured error bound, so a quantization bug (or an EB the
+// weights cannot honor) fails construction instead of silently serving
+// wrong scores.
+func verifyQuantBlock(ts *tableStore, weights []float32, cc *coldCodec, eb float32) error {
+	n := ts.blockLen(0) * ts.dim
+	got := make([]float32, n)
+	if err := cc.decodeInto(got, ts.frames[0]); err != nil {
+		return fmt.Errorf("serve: table %d quant verify: %w", ts.id, err)
+	}
+	// A hair of slack over the bound for float rounding in the codec's
+	// reconstruction arithmetic.
+	tol := eb * (1 + 1e-4)
+	for i, v := range got {
+		d := v - weights[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return fmt.Errorf("serve: table %d row %d: quantized value %v is %v from %v, beyond the %v bound",
+				ts.id, i/ts.dim, v, d, weights[i], eb)
+		}
+	}
+	return nil
+}
+
+// ScoreBatch scores a caller-assembled batch synchronously: dense is
+// [n, DenseFeatures], indices holds one index per table per sample, out
+// receives the n sigmoid scores. Steady-state calls perform no heap
+// allocation. Safe for concurrent use (each call borrows a pooled scorer).
+func (s *Server) ScoreBatch(dense *tensor.Matrix, indices [][]int32, out []float32) error {
+	sc := <-s.scorers
+	err := s.scoreInto(sc, dense, indices, out)
+	s.scorers <- sc
+	return err
+}
+
+// scoreInto runs the forward pass on sc's workspaces: sharded gather →
+// bottom MLP → dot interaction → top MLP → sigmoid.
+func (s *Server) scoreInto(sc *scorer, dense *tensor.Matrix, indices [][]int32, out []float32) error {
+	n := dense.Rows
+	if dense.Cols != s.cfg.DenseFeatures {
+		return fmt.Errorf("serve: batch has %d dense features, the model wants %d", dense.Cols, s.cfg.DenseFeatures)
+	}
+	if len(indices) != len(s.cfg.TableSizes) {
+		return fmt.Errorf("serve: batch has %d index columns, the model has %d tables", len(indices), len(s.cfg.TableSizes))
+	}
+	if len(out) != n {
+		return fmt.Errorf("serve: out holds %d scores for a %d-sample batch", len(out), n)
+	}
+	for t := range indices {
+		if len(indices[t]) != n {
+			return fmt.Errorf("serve: table %d has %d indices for a %d-sample batch", t, len(indices[t]), n)
+		}
+		sc.lookups[t] = sc.lookups[t].Resize(n, s.cfg.EmbeddingDim)
+		if err := s.byTable[t].gatherInto(sc.lookups[t], t, indices[t]); err != nil {
+			return err
+		}
+	}
+	bot := sc.bottom.Forward(dense)
+	z := sc.di.Forward(bot, sc.lookups)
+	logits := sc.top.Forward(z)
+	for i := 0; i < n; i++ {
+		out[i] = nn.Sigmoid(logits.At(i, 0))
+	}
+	s.requests.Add(int64(n))
+	return nil
+}
+
+// Stats is a point-in-time serving counter snapshot.
+type Stats struct {
+	// Requests counts scored samples; Shed counts requests dropped by
+	// admission control.
+	Requests, Shed int64
+	// Hits and Misses count hot-cache row lookups.
+	Hits, Misses int64
+	// HotBytes is the resident decoded-row cache footprint; ColdBytes
+	// the resident compressed-frame footprint; RawBytes what the tables
+	// would occupy uncompressed.
+	HotBytes, ColdBytes, RawBytes int64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 before any lookup.
+func (st Stats) HitRate() float64 {
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}
+
+// ColdRatio returns RawBytes/ColdBytes — the capacity multiplier of the
+// compressed cold tier.
+func (st Stats) ColdRatio() float64 {
+	if st.ColdBytes == 0 {
+		return 0
+	}
+	return float64(st.RawBytes) / float64(st.ColdBytes)
+}
+
+// Stats sums the per-shard counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Requests: s.requests.Load(), Shed: s.shed.Load()}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.HotBytes += sh.hot.usedBytes()
+		for _, ts := range sh.tables {
+			if ts != nil {
+				st.ColdBytes += ts.coldBytes
+				st.RawBytes += ts.rawBytes()
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
